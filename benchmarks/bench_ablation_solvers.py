@@ -1,0 +1,55 @@
+"""A2 — Ablation: the basis-computation backend (HiGHS vs the from-scratch Seidel).
+
+Algorithm 1 treats the basis computation as a black box (``T_b`` in the
+paper); this ablation times the two backends on the sampled sub-LPs the
+algorithm actually produces and checks they return the same optima.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.seidel import seidel_solve
+from repro.problems.solvers import solve_lp
+from repro.workloads import random_feasible_lp
+
+from conftest import emit_row, record
+
+
+@pytest.mark.parametrize("dimension", [2, 3, 4])
+@pytest.mark.parametrize("sample_size", [200, 1000])
+def test_seidel_backend(benchmark, dimension, sample_size):
+    instance = random_feasible_lp(sample_size, dimension, seed=dimension * 10 + 1).problem
+
+    def run():
+        return seidel_solve(instance.c, instance.a, instance.b, box=1e6, rng=0)
+
+    result = benchmark(run)
+    reference = solve_lp(instance.c, a_ub=instance.a, b_ub=instance.b, bounds=(-1e6, 1e6))
+    emit_row(
+        "A2-seidel",
+        d=dimension,
+        m=sample_size,
+        objective_gap=round(abs(result.objective - reference.objective), 9),
+    )
+    record(benchmark, backend="seidel", d=dimension, m=sample_size)
+    assert np.isclose(result.objective, reference.objective, rtol=1e-5, atol=1e-5)
+
+
+@pytest.mark.parametrize("dimension", [2, 3, 4])
+@pytest.mark.parametrize("sample_size", [200, 1000])
+def test_highs_backend(benchmark, dimension, sample_size):
+    instance = random_feasible_lp(sample_size, dimension, seed=dimension * 10 + 1).problem
+
+    def run():
+        return solve_lp(instance.c, a_ub=instance.a, b_ub=instance.b, bounds=(-1e6, 1e6))
+
+    result = benchmark(run)
+    emit_row(
+        "A2-highs",
+        d=dimension,
+        m=sample_size,
+        objective=round(result.objective, 6),
+    )
+    record(benchmark, backend="highs", d=dimension, m=sample_size)

@@ -1,0 +1,71 @@
+"""F1 — Figure 1: a TCI instance (1a) and its 2-dimensional LP formulation (1b).
+
+The benchmark regenerates the figure's content programmatically: a small
+7-point instance in the style of Figure 1a, the LP of Figure 1b built from
+it, and the check that minimising ``y`` over the LP and flooring the optimal
+``x`` recovers the TCI answer.  A sweep over random Aug-Index-derived
+instances measures the reduction's cost and validates the decoding on every
+instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lower_bounds import aug_index_to_tci, random_aug_index, tci_to_linear_program
+from repro.lower_bounds.tci import TCIInstance, lp_optimum_to_index
+
+from conftest import emit_row, record
+
+
+def figure1_style_instance() -> TCIInstance:
+    alice = np.array([0.0, 1.0, 2.5, 4.5, 7.0, 10.0, 13.5])
+    bob = np.array([12.0, 10.0, 8.0, 6.0, 4.0, 2.0, 0.0])
+    return TCIInstance(alice=alice, bob=bob)
+
+
+def test_figure1_example(benchmark):
+    instance = figure1_style_instance()
+
+    def run():
+        lp = tci_to_linear_program(instance)
+        solution = lp.solve()
+        return lp, solution
+
+    lp, solution = benchmark.pedantic(run, rounds=1, iterations=1)
+    decoded = lp_optimum_to_index(solution.witness[0], instance.length)
+    emit_row(
+        "F1-figure1-example",
+        n_points=instance.length,
+        lp_constraints=lp.num_constraints,
+        tci_answer=instance.solve(),
+        lp_x_star=round(float(solution.witness[0]), 4),
+        lp_y_star=round(float(solution.witness[1]), 4),
+        decoded_answer=decoded,
+    )
+    record(benchmark, decoded=decoded)
+    assert decoded == instance.solve() == 4
+
+
+@pytest.mark.parametrize("length", [32, 128, 512])
+def test_reduction_sweep(benchmark, length):
+    instances = [aug_index_to_tci(random_aug_index(length, seed=s), sigma=2.0) for s in range(5)]
+
+    def run():
+        outcomes = []
+        for instance in instances:
+            lp = tci_to_linear_program(instance)
+            decoded = lp_optimum_to_index(lp.solve().witness[0], instance.length)
+            outcomes.append(decoded == instance.solve())
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_row(
+        "F1-reduction-sweep",
+        bits=length,
+        instances=len(instances),
+        all_decoded_correctly=all(outcomes),
+    )
+    record(benchmark, length=length, correct=sum(outcomes))
+    assert all(outcomes)

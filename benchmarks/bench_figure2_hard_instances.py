@@ -1,0 +1,63 @@
+"""F2 — Figure 2: the EvenInstance / OddInstance recursive embedding.
+
+The benchmark regenerates the structure the figure illustrates: composite
+instances with a hidden special sub-instance, the first speaker's curve being
+the concatenation of all blocks, and the other curve being the special block
+extended by straight lines.  It samples instances from ``D_r`` for several
+``(N, r)`` pairs and reports validity, the hidden block, and the embedded
+answer, together with the generation cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lower_bounds import build_schedule, sample_hard_instance
+
+from conftest import emit_row, record
+
+
+@pytest.mark.parametrize("branching,rounds", [(8, 2), (16, 2), (6, 3)])
+def test_hard_instance_structure(benchmark, branching, rounds):
+    def run():
+        return [
+            sample_hard_instance(branching=branching, rounds=rounds, seed=s) for s in range(5)
+        ]
+
+    instances = benchmark.pedantic(run, rounds=1, iterations=1)
+    all_valid = all(h.instance.is_valid() for h in instances)
+    all_embedded = all(h.instance.solve() == h.answer for h in instances)
+    blocks = sorted({h.special_block for h in instances})
+    emit_row(
+        "F2-hard-instances",
+        branching=branching,
+        rounds=rounds,
+        n=instances[0].instance.length,
+        samples=len(instances),
+        all_valid=all_valid,
+        answer_in_special_block=all_embedded,
+        hidden_blocks_seen=blocks,
+    )
+    record(benchmark, n=instances[0].instance.length, valid=all_valid)
+    assert all_valid and all_embedded
+
+
+def test_schedule_growth(benchmark):
+    """The slope-shift schedule's floors and ranges grow geometrically with the level."""
+
+    def run():
+        return build_schedule(branching=16, rounds=4)
+
+    schedule = benchmark.pedantic(run, rounds=1, iterations=1)
+    for level in schedule:
+        emit_row(
+            "F2-schedule",
+            level=level.level,
+            alice_composite=level.alice_composite,
+            bob_floor=level.bob_floor,
+            alice_range=level.alice_range,
+            bob_range=level.bob_range,
+            shift_step=level.shift_step,
+        )
+    record(benchmark, deepest_bob_floor=schedule[0].bob_floor)
+    assert schedule[0].bob_floor > schedule[-1].bob_floor

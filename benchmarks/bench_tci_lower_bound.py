@@ -1,0 +1,90 @@
+"""E8 — Result 2 / Theorem 7, Corollary 8: communication of TCI on the hard distribution.
+
+The lower bound says any ``r``-round protocol needs ``Omega(n^{1/r} / r^2)``
+bits on instances of ``D_r``; the matching upper bound is the interactive
+probing protocol with ``O~(r * n^{1/r})`` bits.  The benchmark measures the
+protocol's communication on sampled hard instances across ``n`` and ``r`` and
+prints it next to the lower-bound curve, so the gap (a poly(r) * log n
+factor) is visible and the ``n^{1/r}`` shape can be checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accounting import DEFAULT_BITS_PER_COEFFICIENT
+from repro.lower_bounds import (
+    interactive_tci_protocol,
+    one_round_tci_protocol,
+    sample_hard_instance,
+)
+
+from conftest import emit_row, record
+
+
+@pytest.mark.parametrize("branching,rounds", [(16, 1), (16, 2), (8, 3), (12, 3)])
+def test_interactive_protocol_on_hard_distribution(benchmark, branching, rounds):
+    hard = sample_hard_instance(branching=branching, rounds=rounds, seed=1)
+    n = hard.instance.length
+
+    def run():
+        return interactive_tci_protocol(hard.instance, rounds=rounds)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lower_bound_bits = (n ** (1.0 / rounds)) / (rounds ** 2)
+    emit_row(
+        "E8-tci-protocol",
+        n=n,
+        r=rounds,
+        measured_bits=result.total_bits,
+        measured_values=result.total_bits // DEFAULT_BITS_PER_COEFFICIENT,
+        lower_bound_values=round(lower_bound_bits, 1),
+        answer_correct=result.answer == hard.answer,
+    )
+    record(benchmark, n=n, r=rounds, bits=result.total_bits)
+    assert result.answer == hard.answer
+    # The upper bound respects the lower bound (it communicates more values
+    # than the Omega(n^{1/r} / r^2) requirement).
+    assert result.total_bits / DEFAULT_BITS_PER_COEFFICIENT >= lower_bound_bits / 10
+
+
+def test_one_round_protocol_is_linear(benchmark):
+    """Lemma 5.6: one-round protocols pay Theta(n); the trivial protocol matches."""
+    hard = sample_hard_instance(branching=20, rounds=2, seed=2)  # n = 400
+    n = hard.instance.length
+
+    def run():
+        return one_round_tci_protocol(hard.instance)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_row(
+        "E8-one-round",
+        n=n,
+        measured_bits=result.total_bits,
+        linear_in_n=result.total_bits == n * DEFAULT_BITS_PER_COEFFICIENT,
+    )
+    record(benchmark, bits=result.total_bits)
+    assert result.answer == hard.answer
+    assert result.total_bits == n * DEFAULT_BITS_PER_COEFFICIENT
+
+
+def test_round_communication_tradeoff_shape(benchmark):
+    """For fixed n, more rounds means less communication (the n^{1/r} decay)."""
+    hard = sample_hard_instance(branching=9, rounds=3, seed=3)  # n = 729
+
+    def run():
+        return [
+            interactive_tci_protocol(hard.instance, rounds=r).total_bits for r in (1, 2, 3, 4)
+        ]
+
+    bits = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_row(
+        "E8-tradeoff",
+        n=hard.instance.length,
+        bits_r1=bits[0],
+        bits_r2=bits[1],
+        bits_r3=bits[2],
+        bits_r4=bits[3],
+    )
+    record(benchmark, bits_by_round=bits)
+    assert bits[0] > bits[1] > bits[2] >= bits[3] * 0.5

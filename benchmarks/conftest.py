@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of `DESIGN.md` (per-experiment
+index) and prints the paper-style rows it measures, so the captured output of
+``pytest benchmarks/ --benchmark-only`` doubles as the data behind
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.core.clarkson import practical_parameters
+
+
+def solver_params(problem, r: int):
+    """The constant-free "practical profile" used by every benchmark run.
+
+    See ``repro.core.clarkson.practical_parameters``: same asymptotics as the
+    paper (samples of ``~ n^{1/r}``, success threshold of ``~ 1/n^{1/r}``),
+    with the loose Lemma 2.2 constants replaced by Clarkson's sampling bound
+    so that the sub-linear regime is visible at laptop scale.
+    """
+    return practical_parameters(problem, r=r, keep_trace=False)
+
+
+def emit_row(experiment: str, **fields) -> None:
+    """Print one result row (shows up in bench_output.txt)."""
+    payload = ", ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"\n[{experiment}] {payload}")
+
+
+def record(benchmark, **fields) -> None:
+    """Attach measured quantities to the pytest-benchmark record."""
+    for key, value in fields.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,59 @@
+"""Distributed hard-margin SVM training in the coordinator model (Theorem 5).
+
+Labelled points are partitioned over 16 sites; the coordinator-model
+meta-algorithm finds the maximum-margin separator while exchanging only a
+tiny fraction of the data, and the result is compared against the exact
+in-memory solution and against the ship-everything baseline.
+
+Run with::
+
+    python examples/distributed_svm.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import coordinator_clarkson_solve, exact_in_memory, ship_all_coordinator
+from repro.core import practical_parameters
+from repro.workloads import make_separable_classification, svm_problem
+
+
+def main() -> None:
+    data = make_separable_classification(
+        num_samples=30_000, num_features=3, seed=3, margin=0.3
+    )
+    problem = svm_problem(data)
+    print(f"SVM instance: {problem.num_constraints} labelled points in R^{problem.dimension}")
+
+    exact = exact_in_memory(problem)
+    print(f"exact margin                 : {problem.margin(exact.witness):.4f}")
+
+    naive = ship_all_coordinator(problem, num_sites=16)
+    params = practical_parameters(problem, r=2)
+    distributed = coordinator_clarkson_solve(
+        problem, num_sites=16, r=2, params=params, rng=2
+    )
+
+    print(
+        f"distributed margin (k=16)    : {problem.margin(distributed.witness):.4f}  "
+        f"rounds={distributed.resources.rounds}"
+    )
+    savings = (
+        naive.resources.total_communication_bits
+        / distributed.resources.total_communication_bits
+    )
+    print(
+        f"communication                : "
+        f"{distributed.resources.total_communication_bits / 8 / 1024:.1f} KiB vs "
+        f"{naive.resources.total_communication_bits / 8 / 1024:.1f} KiB for ship-everything "
+        f"({savings:.1f}x less)"
+    )
+
+    predictions = problem.classify(distributed.witness, data.points)
+    accuracy = float(np.mean(predictions == data.labels))
+    print(f"training accuracy            : {accuracy:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Streaming Chebyshev (minimax) regression — the paper's robust-regression motivation.
+
+A linear model is fitted to 50,000 samples under the L-infinity loss.  The
+resulting LP has only ``p + 1`` variables but 100,000 constraints, which is
+exactly the over-constrained low-dimensional regime of the paper: the
+streaming meta-algorithm fits the model in a handful of passes while storing
+only a few thousand constraints at a time.
+
+Run with::
+
+    python examples/streaming_regression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import streaming_clarkson_solve
+from repro.core import practical_parameters
+from repro.workloads import chebyshev_regression_lp, make_regression_data
+
+
+def main() -> None:
+    data = make_regression_data(
+        num_samples=50_000, num_features=3, seed=7, noise_scale=0.2
+    )
+    lp = chebyshev_regression_lp(data)
+    print(
+        f"Chebyshev regression LP: {lp.num_constraints} constraints, "
+        f"{lp.dimension} variables"
+    )
+
+    params = practical_parameters(lp, r=2)
+    result = streaming_clarkson_solve(lp, r=2, params=params, rng=1)
+
+    weights = np.array(result.witness[: data.features.shape[1]])
+    max_residual = float(result.witness[-1])
+    print(f"true weights      : {np.round(data.true_weights, 4)}")
+    print(f"recovered weights : {np.round(weights, 4)}")
+    print(f"max |residual|    : {max_residual:.4f}   (noise level was 0.2)")
+    print(
+        f"streaming cost    : {result.resources.passes} passes, "
+        f"{result.resources.space_peak_items} constraints of working memory "
+        f"({result.resources.space_peak_items / lp.num_constraints:.1%} of the input)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` keeps working on environments without the
+``wheel`` package (offline boxes), via the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

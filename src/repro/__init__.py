@@ -1,0 +1,104 @@
+"""repro — a reproduction of "Distributed and Streaming Linear Programming in Low Dimensions".
+
+The library implements the paper's Clarkson-style meta-algorithm for LP-type
+problems (driven by eps-net sampling), its instantiations in the multi-pass
+streaming, coordinator, and MPC models, the concrete LP / linear-SVM /
+minimum-enclosing-ball problems, and the communication lower-bound machinery
+(two-curve intersection, Augmented Indexing, and the recursive hard
+distributions).
+
+Quick start::
+
+    from repro import random_feasible_lp, streaming_clarkson_solve
+
+    instance = random_feasible_lp(num_constraints=5000, dimension=3, seed=0)
+    result = streaming_clarkson_solve(instance.problem, r=2, rng=0)
+    print(result.value.objective, result.resources.passes)
+"""
+
+from .algorithms import (
+    chan_chen_2d_streaming,
+    chan_chen_pass_count,
+    clarkson_classic_reweighting,
+    clarkson_pass_count,
+    coordinator_clarkson_solve,
+    exact_in_memory,
+    machines_for_load,
+    mpc_clarkson_solve,
+    ship_all_coordinator,
+    single_pass_full_memory_streaming,
+    streaming_clarkson_solve,
+)
+from .core import (
+    BasisResult,
+    ClarksonParameters,
+    LPTypeProblem,
+    SolveResult,
+    clarkson_solve,
+)
+from .lower_bounds import (
+    AugIndexInstance,
+    TCIInstance,
+    aug_index_to_tci,
+    interactive_tci_protocol,
+    one_round_tci_protocol,
+    sample_hard_instance,
+    tci_to_linear_program,
+)
+from .problems import (
+    LinearProgram,
+    LinearSVM,
+    MinimumEnclosingBall,
+    badoiu_clarkson_meb,
+    seidel_solve,
+)
+from .workloads import (
+    chebyshev_regression_lp,
+    make_regression_data,
+    make_separable_classification,
+    random_feasible_lp,
+    random_polytope_lp,
+    svm_problem,
+    uniform_ball_points,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "chan_chen_2d_streaming",
+    "chan_chen_pass_count",
+    "clarkson_classic_reweighting",
+    "clarkson_pass_count",
+    "coordinator_clarkson_solve",
+    "exact_in_memory",
+    "machines_for_load",
+    "mpc_clarkson_solve",
+    "ship_all_coordinator",
+    "single_pass_full_memory_streaming",
+    "streaming_clarkson_solve",
+    "BasisResult",
+    "ClarksonParameters",
+    "LPTypeProblem",
+    "SolveResult",
+    "clarkson_solve",
+    "AugIndexInstance",
+    "TCIInstance",
+    "aug_index_to_tci",
+    "interactive_tci_protocol",
+    "one_round_tci_protocol",
+    "sample_hard_instance",
+    "tci_to_linear_program",
+    "LinearProgram",
+    "LinearSVM",
+    "MinimumEnclosingBall",
+    "badoiu_clarkson_meb",
+    "seidel_solve",
+    "chebyshev_regression_lp",
+    "make_regression_data",
+    "make_separable_classification",
+    "random_feasible_lp",
+    "random_polytope_lp",
+    "svm_problem",
+    "uniform_ball_points",
+    "__version__",
+]

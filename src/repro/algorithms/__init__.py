@@ -1,0 +1,32 @@
+"""Model-specific solvers: the paper's algorithms and the baselines they beat."""
+
+from .baselines import (
+    clarkson_classic_reweighting,
+    exact_in_memory,
+    ship_all_coordinator,
+    single_pass_full_memory_streaming,
+)
+from .chan_chen import (
+    EnvelopeLP,
+    chan_chen_2d_streaming,
+    chan_chen_pass_count,
+    clarkson_pass_count,
+)
+from .coordinator_clarkson import coordinator_clarkson_solve
+from .mpc_clarkson import machines_for_load, mpc_clarkson_solve
+from .streaming_clarkson import streaming_clarkson_solve
+
+__all__ = [
+    "clarkson_classic_reweighting",
+    "exact_in_memory",
+    "ship_all_coordinator",
+    "single_pass_full_memory_streaming",
+    "EnvelopeLP",
+    "chan_chen_2d_streaming",
+    "chan_chen_pass_count",
+    "clarkson_pass_count",
+    "coordinator_clarkson_solve",
+    "machines_for_load",
+    "mpc_clarkson_solve",
+    "streaming_clarkson_solve",
+]

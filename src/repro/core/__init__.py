@@ -1,0 +1,77 @@
+"""Core machinery: LP-type problems, eps-nets, weights, and the meta-algorithm."""
+
+from .accounting import BitCostModel, CostMeter, RoundLedger
+from .clarkson import (
+    ClarksonParameters,
+    clarkson_solve,
+    practical_parameters,
+    resolve_sampling,
+    solve_small_problem,
+)
+from .epsnet import EpsNetSpec, algorithm_epsilon, epsnet_sample_size, is_eps_net
+from .exceptions import (
+    CommunicationError,
+    InfeasibleProblemError,
+    InvalidInstanceError,
+    IterationLimitError,
+    ProtocolError,
+    ReproError,
+    SolverError,
+    UnboundedProblemError,
+)
+from .lptype import BasisResult, LPTypeProblem, check_locality, check_monotonicity
+from .result import IterationRecord, ResourceUsage, SolveResult
+from .rng import as_generator, derive_seed, spawn
+from .sampling import (
+    ExponentialKeyReservoir,
+    WeightedReservoirSampler,
+    multinomial_split,
+    normalise_weights,
+    stream_weighted_sample,
+    weighted_sample_with_replacement,
+    weighted_sample_without_replacement,
+)
+from .weights import ExplicitWeights, ImplicitWeights, boost_factor
+
+__all__ = [
+    "BitCostModel",
+    "CostMeter",
+    "RoundLedger",
+    "ClarksonParameters",
+    "clarkson_solve",
+    "practical_parameters",
+    "resolve_sampling",
+    "solve_small_problem",
+    "EpsNetSpec",
+    "algorithm_epsilon",
+    "epsnet_sample_size",
+    "is_eps_net",
+    "CommunicationError",
+    "InfeasibleProblemError",
+    "InvalidInstanceError",
+    "IterationLimitError",
+    "ProtocolError",
+    "ReproError",
+    "SolverError",
+    "UnboundedProblemError",
+    "BasisResult",
+    "LPTypeProblem",
+    "check_locality",
+    "check_monotonicity",
+    "IterationRecord",
+    "ResourceUsage",
+    "SolveResult",
+    "as_generator",
+    "derive_seed",
+    "spawn",
+    "ExponentialKeyReservoir",
+    "WeightedReservoirSampler",
+    "multinomial_split",
+    "normalise_weights",
+    "stream_weighted_sample",
+    "weighted_sample_with_replacement",
+    "weighted_sample_without_replacement",
+    "ExplicitWeights",
+    "ImplicitWeights",
+    "boost_factor",
+]

@@ -1,0 +1,133 @@
+"""Cost accounting primitives shared by all computation-model substrates.
+
+The paper measures three families of resources:
+
+* **streaming**: number of passes over the input and the peak number of bits
+  kept in memory,
+* **coordinator**: number of rounds and the total number of bits exchanged
+  between the sites and the coordinator,
+* **MPC**: number of rounds and the *load*, i.e. the maximum number of bits
+  sent or received by any machine in any round.
+
+This module provides the small value objects the substrates use to count
+those resources exactly.  Everything is counted in bits with a configurable
+``bits_per_coefficient`` (the paper assumes ``bit(S) = O(log n)`` bits per
+number; we default to 64-bit words and record the convention in the results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+#: Default number of bits charged for one numeric coefficient in a message.
+DEFAULT_BITS_PER_COEFFICIENT = 64
+
+#: Default number of bits charged for one integer counter (index, count, ...).
+DEFAULT_BITS_PER_COUNTER = 32
+
+
+@dataclass(frozen=True)
+class BitCostModel:
+    """Defines how logical payloads are converted to bit counts.
+
+    Parameters
+    ----------
+    bits_per_coefficient:
+        Bits charged for every real coefficient of a constraint or point.
+    bits_per_counter:
+        Bits charged for small integers (sample counts, indices, flags).
+    """
+
+    bits_per_coefficient: int = DEFAULT_BITS_PER_COEFFICIENT
+    bits_per_counter: int = DEFAULT_BITS_PER_COUNTER
+
+    def coefficients(self, count: int) -> int:
+        """Bits for ``count`` real coefficients."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return count * self.bits_per_coefficient
+
+    def counters(self, count: int) -> int:
+        """Bits for ``count`` small integers."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return count * self.bits_per_counter
+
+    def array(self, values: np.ndarray | Iterable[float]) -> int:
+        """Bits for an array of real values."""
+        arr = np.asarray(values)
+        return self.coefficients(int(arr.size))
+
+
+@dataclass
+class CostMeter:
+    """A simple accumulating meter for one resource (bits, items, ...)."""
+
+    name: str
+    total: int = 0
+    peak: int = 0
+    _current: int = 0
+
+    def add(self, amount: int) -> None:
+        """Add ``amount`` to the running total (and current level)."""
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        self.total += amount
+        self._current += amount
+        self.peak = max(self.peak, self._current)
+
+    def release(self, amount: int) -> None:
+        """Lower the *current* level by ``amount`` (total is unchanged).
+
+        Used for space accounting: memory that is freed lowers the current
+        footprint but the peak remains.
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be non-negative, got {amount}")
+        self._current = max(0, self._current - amount)
+
+    def set_level(self, level: int) -> None:
+        """Set the current level directly, updating the peak."""
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        self._current = level
+        self.peak = max(self.peak, level)
+
+    @property
+    def current(self) -> int:
+        return self._current
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "total": self.total, "peak": self.peak}
+
+
+@dataclass
+class RoundLedger:
+    """Tracks per-round costs (used by the coordinator and MPC substrates)."""
+
+    rounds: list[dict] = field(default_factory=list)
+
+    def record(self, **costs: int) -> None:
+        """Append a round with the given named costs."""
+        self.rounds.append(dict(costs))
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    def total(self, key: str) -> int:
+        """Sum of ``key`` across rounds (missing keys count as 0)."""
+        return sum(int(r.get(key, 0)) for r in self.rounds)
+
+    def maximum(self, key: str) -> int:
+        """Maximum of ``key`` across rounds (0 if no rounds recorded)."""
+        if not self.rounds:
+            return 0
+        return max(int(r.get(key, 0)) for r in self.rounds)
+
+    def as_table(self) -> list[Mapping[str, int]]:
+        """Rounds as an immutable-ish list of dicts (for reports)."""
+        return [dict(r) for r in self.rounds]

@@ -1,0 +1,175 @@
+"""Epsilon-net machinery (Section 2.2 of the paper).
+
+The meta-algorithm (Algorithm 1) replaces Clarkson's original sampling step
+with an eps-net of the weighted constraint family.  Lemma 2.2 (Haussler-Welzl)
+states that, for a set system of VC dimension ``lam``, a random sample of
+
+    m(eps, lam, delta) = max( (8*lam/eps) * log(8*lam/eps),
+                              (4/eps)     * log(2/delta) )
+
+sets drawn with probability proportional to their weights is an eps-net with
+probability at least ``1 - delta``.  This module provides that bound together
+with helpers for choosing the eps parameter used by Algorithm 1 and an
+empirical eps-net verifier used by the test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "epsnet_sample_size",
+    "algorithm_epsilon",
+    "EpsNetSpec",
+    "is_eps_net",
+]
+
+
+def epsnet_sample_size(epsilon: float, vc_dimension: float, failure_probability: float) -> int:
+    """Return the Lemma 2.2 sample size ``m(eps, lambda, delta)``.
+
+    Parameters
+    ----------
+    epsilon:
+        The eps-net parameter, in ``(0, 1)``.
+    vc_dimension:
+        VC dimension ``lambda`` of the set system (must be >= 1).
+    failure_probability:
+        Allowed failure probability ``delta`` in ``(0, 1)``.
+
+    Returns
+    -------
+    int
+        The number of weighted samples required, rounded up to an integer.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if vc_dimension < 1:
+        raise ValueError(f"vc_dimension must be >= 1, got {vc_dimension}")
+    if not 0.0 < failure_probability < 1.0:
+        raise ValueError(
+            f"failure_probability must lie in (0, 1), got {failure_probability}"
+        )
+    first = (8.0 * vc_dimension / epsilon) * math.log(8.0 * vc_dimension / epsilon)
+    second = (4.0 / epsilon) * math.log(2.0 / failure_probability)
+    return int(math.ceil(max(first, second)))
+
+
+def algorithm_epsilon(num_constraints: int, combinatorial_dimension: int, r: int) -> float:
+    """Return Algorithm 1's eps parameter ``1 / (10 * nu * n^{1/r})``.
+
+    Parameters
+    ----------
+    num_constraints:
+        ``n``, the total number of constraints of the LP-type problem.
+    combinatorial_dimension:
+        ``nu``, the combinatorial dimension of the problem.
+    r:
+        The pass/round trade-off parameter (``r >= 1``).
+    """
+    if num_constraints < 1:
+        raise ValueError(f"num_constraints must be >= 1, got {num_constraints}")
+    if combinatorial_dimension < 1:
+        raise ValueError(
+            f"combinatorial_dimension must be >= 1, got {combinatorial_dimension}"
+        )
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    return 1.0 / (10.0 * combinatorial_dimension * num_constraints ** (1.0 / r))
+
+
+@dataclass(frozen=True)
+class EpsNetSpec:
+    """All parameters of one eps-net sampling step of Algorithm 1.
+
+    Attributes
+    ----------
+    epsilon:
+        The eps-net parameter (``1 / (10 nu n^{1/r})`` by default).
+    vc_dimension:
+        VC dimension of the underlying set system.
+    failure_probability:
+        Per-iteration failure probability (2/3-success per Lemma 2.2 in the
+        Las-Vegas variant; ``1/(n nu)`` in the Monte-Carlo variant).
+    sample_scale:
+        Multiplier applied to the theoretical sample size.  The theoretical
+        constants (8 lambda / eps log ...) are loose; benchmarks may lower
+        this to explore the practical trade-off.  ``1.0`` reproduces the
+        paper's bound exactly.
+    max_sample_size:
+        Hard cap, typically ``n``; sampling more than the ground set is
+        pointless.
+    """
+
+    epsilon: float
+    vc_dimension: float
+    failure_probability: float = 1.0 / 3.0
+    sample_scale: float = 1.0
+    max_sample_size: int | None = None
+
+    def sample_size(self) -> int:
+        """Sample size for this spec (scaled, capped, and at least 1)."""
+        m = epsnet_sample_size(self.epsilon, self.vc_dimension, self.failure_probability)
+        m = int(math.ceil(m * self.sample_scale))
+        if self.max_sample_size is not None:
+            m = min(m, self.max_sample_size)
+        return max(1, m)
+
+    @classmethod
+    def for_algorithm(
+        cls,
+        num_constraints: int,
+        combinatorial_dimension: int,
+        vc_dimension: float,
+        r: int,
+        failure_probability: float = 1.0 / 3.0,
+        sample_scale: float = 1.0,
+    ) -> "EpsNetSpec":
+        """Build the spec Algorithm 1 uses for an (n, nu, lambda, r) problem."""
+        eps = algorithm_epsilon(num_constraints, combinatorial_dimension, r)
+        return cls(
+            epsilon=eps,
+            vc_dimension=vc_dimension,
+            failure_probability=failure_probability,
+            sample_scale=sample_scale,
+            max_sample_size=num_constraints,
+        )
+
+
+def is_eps_net(
+    sample_indices: Sequence[int],
+    weights: Sequence[float],
+    epsilon: float,
+    excludes: Callable[[int], bool] | Iterable[int],
+) -> bool:
+    """Empirically verify the eps-net property for one "witness point".
+
+    A family ``N`` is an eps-net if for every point ``u`` whose excluding
+    constraints carry at least an ``epsilon`` fraction of the total weight,
+    ``N`` contains at least one constraint excluding ``u``.  This function
+    checks the property for a single point ``u``, described by ``excludes``:
+    either a predicate over constraint indices (``True`` means the constraint
+    does *not* contain ``u``) or an iterable of excluding indices.
+
+    This is a testing utility (used by the property-based tests); the solver
+    itself never needs to verify the property explicitly.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    weights = list(weights)
+    total = float(sum(weights))
+    if total <= 0.0:
+        raise ValueError("total weight must be positive")
+
+    if callable(excludes):
+        excluded = {i for i in range(len(weights)) if excludes(i)}
+    else:
+        excluded = set(int(i) for i in excludes)
+
+    excluded_weight = sum(weights[i] for i in excluded)
+    if excluded_weight < epsilon * total:
+        # The point is not "heavy"; the eps-net property imposes nothing.
+        return True
+    return any(int(i) in excluded for i in sample_indices)

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InfeasibleProblemError(ReproError):
+    """Raised when an optimisation problem has an empty feasible region."""
+
+
+class UnboundedProblemError(ReproError):
+    """Raised when an optimisation problem has an unbounded optimum.
+
+    The meta-algorithm requires every sub-problem to have a well defined
+    optimum; linear programs are therefore intersected with a bounding box
+    (see :class:`repro.problems.linear_program.LinearProgram`).  This error is
+    raised when a caller explicitly disables the box and the optimum escapes
+    to infinity.
+    """
+
+
+class SolverError(ReproError):
+    """Raised when a numerical solver fails to converge or returns garbage."""
+
+
+class InvalidInstanceError(ReproError):
+    """Raised when an input instance violates the promises of a problem.
+
+    Examples: a two-curve-intersection instance whose curves are not monotone
+    or not convex, an LP with mismatched coefficient shapes, or an SVM data
+    set that is not linearly separable when a hard-margin model is requested.
+    """
+
+
+class IterationLimitError(ReproError):
+    """Raised when the meta-algorithm exceeds its iteration budget.
+
+    Algorithm 1 terminates within O(nu * r) iterations with high probability;
+    an implementation bug or an adversarially chosen random seed could in
+    principle exceed that, so all drivers carry an explicit budget and fail
+    loudly instead of looping forever.
+    """
+
+
+class CommunicationError(ReproError):
+    """Raised on misuse of the communication substrates.
+
+    For instance, sending a message outside of an open round in the
+    coordinator model, or exceeding the per-machine memory in the MPC model.
+    """
+
+
+class ProtocolError(ReproError):
+    """Raised when a two-party communication protocol is used incorrectly."""

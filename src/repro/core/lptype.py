@@ -1,0 +1,201 @@
+"""The LP-type problem abstraction (Section 2.1 and Section 3 of the paper).
+
+An LP-type problem is a pair ``(S, f)`` where ``S`` is a finite set of
+constraints and ``f`` maps subsets of ``S`` to a totally ordered range and
+satisfies *monotonicity* and *locality*.  The paper restricts attention to
+the class satisfying properties (P1)/(P2): each constraint corresponds to a
+subset of the range ``R`` (the feasible points satisfying it) and ``f(A)`` is
+the minimal element of the intersection of the constraints in ``A``.
+
+For that class, the primitive operations Algorithm 1 needs are
+
+* ``solve_subset``: compute ``f(A)`` (value, witness point, and a small
+  basis) for an explicitly given subset ``A``;
+* ``violates``: decide whether a constraint is violated by the witness point
+  of a basis, i.e. whether ``f(B + {S}) > f(B)``.
+
+Concrete problems (linear programming, hard-margin SVM, minimum enclosing
+ball) implement :class:`LPTypeProblem`; the sequential, streaming,
+coordinator and MPC drivers only ever talk to this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["BasisResult", "LPTypeProblem", "check_monotonicity", "check_locality"]
+
+
+@dataclass(frozen=True)
+class BasisResult:
+    """Result of solving an LP-type problem on a subset of constraints.
+
+    Attributes
+    ----------
+    indices:
+        Indices (into the full constraint set) of a basis of the subset:
+        a small sub-subset with the same ``f`` value.  At most
+        ``combinatorial_dimension`` entries.
+    value:
+        ``f`` of the subset.  Must support ``<`` / ``==`` comparisons with
+        other values produced by the same problem (totally ordered range).
+    witness:
+        The optimal point realising ``value`` (an ``ndarray`` for the
+        geometric problems).  Violation tests are performed against the
+        witness.
+    subset_size:
+        Number of constraints that were solved over (for bookkeeping).
+    """
+
+    indices: tuple[int, ...]
+    value: Any
+    witness: Any
+    subset_size: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+
+
+class LPTypeProblem(abc.ABC):
+    """Interface every concrete LP-type problem implements.
+
+    The constraint set is indexed ``0 .. num_constraints - 1``; drivers refer
+    to constraints exclusively through these indices so that the problem
+    object itself can live on a single machine (models that distribute the
+    constraints pass around *constraint payloads* obtained via
+    :meth:`constraint_payload`).
+    """
+
+    # ------------------------------------------------------------------ #
+    # Static problem metadata
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def num_constraints(self) -> int:
+        """``n``, the number of constraints."""
+
+    @property
+    @abc.abstractmethod
+    def dimension(self) -> int:
+        """``d``, the ambient dimension of the problem."""
+
+    @property
+    def combinatorial_dimension(self) -> int:
+        """``nu``: maximum basis cardinality.  ``d + 1`` for LP/SVM/MEB."""
+        return self.dimension + 1
+
+    @property
+    def vc_dimension(self) -> int:
+        """``lambda``: VC dimension of the constraint set system (``d + 1``)."""
+        return self.dimension + 1
+
+    def bit_size(self) -> int:
+        """Bits needed to describe one constraint (``bit(S)`` in the paper).
+
+        Default: ``(d + 1)`` coefficients at 64 bits each; concrete problems
+        override when their constraints carry a different payload.
+        """
+        return (self.dimension + 1) * 64
+
+    # ------------------------------------------------------------------ #
+    # Core primitives
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def solve_subset(self, indices: Sequence[int]) -> BasisResult:
+        """Compute ``f`` on the subset given by ``indices``.
+
+        ``indices`` may be empty, in which case the problem's "unconstrained"
+        optimum (e.g. the corner of the bounding box for LP) is returned with
+        an empty basis.
+        """
+
+    @abc.abstractmethod
+    def violates(self, witness: Any, index: int) -> bool:
+        """Return ``True`` iff constraint ``index`` is violated at ``witness``.
+
+        For problems in the (P1)/(P2) class this is exactly the test
+        ``f(B + {index}) > f(B)`` where ``witness`` realises ``f(B)``.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers (overridable for vectorised implementations)
+    # ------------------------------------------------------------------ #
+
+    def violating_indices(self, witness: Any, indices: Iterable[int]) -> np.ndarray:
+        """Indices among ``indices`` violated at ``witness`` (ascending order)."""
+        out = [int(i) for i in indices if self.violates(witness, int(i))]
+        return np.asarray(sorted(out), dtype=int)
+
+    def all_indices(self) -> np.ndarray:
+        """``[0, 1, ..., n-1]`` as an array."""
+        return np.arange(self.num_constraints, dtype=int)
+
+    def solve(self) -> BasisResult:
+        """Solve over the full constraint set (ground truth for tests)."""
+        return self.solve_subset(self.all_indices())
+
+    def constraint_payload(self, index: int) -> Any:
+        """A self-contained description of one constraint.
+
+        Used by the distributed substrates when they ship constraints between
+        machines; the default returns the index itself, which suffices for
+        the simulators (they share the problem object), but concrete problems
+        provide real payloads so message sizes can be accounted faithfully.
+        """
+        return index
+
+    def payload_num_coefficients(self) -> int:
+        """Number of real coefficients in one constraint payload."""
+        return self.dimension + 1
+
+
+# ---------------------------------------------------------------------- #
+# Axiom checkers (used by tests and by the property-based suite)
+# ---------------------------------------------------------------------- #
+
+
+def check_monotonicity(
+    problem: LPTypeProblem, smaller: Sequence[int], larger: Sequence[int]
+) -> bool:
+    """Check ``f(X) <= f(Y)`` for ``X`` a subset of ``Y``.
+
+    ``smaller`` must be a subset of ``larger``; raises ``ValueError`` if not.
+    """
+    small_set = set(int(i) for i in smaller)
+    large_set = set(int(i) for i in larger)
+    if not small_set <= large_set:
+        raise ValueError("'smaller' must be a subset of 'larger'")
+    f_small = problem.solve_subset(sorted(small_set)).value
+    f_large = problem.solve_subset(sorted(large_set)).value
+    return not f_large < f_small
+
+
+def check_locality(
+    problem: LPTypeProblem,
+    smaller: Sequence[int],
+    larger: Sequence[int],
+    extra: int,
+) -> bool:
+    """Check the locality axiom for ``X subset Y`` and element ``extra``.
+
+    If ``f(X) = f(Y) = f(X + {e})`` then ``f(Y) = f(Y + {e})`` must hold.
+    Returns ``True`` when the premise fails (vacuous) or the conclusion holds.
+    """
+    small_set = set(int(i) for i in smaller)
+    large_set = set(int(i) for i in larger)
+    if not small_set <= large_set:
+        raise ValueError("'smaller' must be a subset of 'larger'")
+    f_small = problem.solve_subset(sorted(small_set)).value
+    f_large = problem.solve_subset(sorted(large_set)).value
+    f_small_e = problem.solve_subset(sorted(small_set | {int(extra)})).value
+    premise = f_small == f_large == f_small_e
+    if not premise:
+        return True
+    f_large_e = problem.solve_subset(sorted(large_set | {int(extra)})).value
+    return f_large_e == f_large

@@ -1,0 +1,130 @@
+"""Result records returned by every solver driver in the library.
+
+All drivers (sequential, streaming, coordinator, MPC, and the baselines)
+return a :class:`SolveResult` so that examples, tests, and the benchmark
+harness can treat them uniformly: the optimum itself plus the exact resource
+costs the paper's theorems are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["IterationRecord", "ResourceUsage", "SolveResult"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Trace of a single iteration of the meta-algorithm.
+
+    Attributes
+    ----------
+    iteration:
+        Zero-based iteration number.
+    sample_size:
+        Number of constraints in the eps-net sample of this iteration.
+    num_violators:
+        Number of constraints violating the basis computed in this iteration.
+    violator_weight_fraction:
+        ``w(V) / w(S)`` for this iteration (the success test compares it to
+        eps).
+    successful:
+        Whether the iteration passed the success test and boosted weights.
+    basis_indices:
+        Indices of the basis computed in this iteration.
+    """
+
+    iteration: int
+    sample_size: int
+    num_violators: int
+    violator_weight_fraction: float
+    successful: bool
+    basis_indices: tuple[int, ...] = ()
+
+
+@dataclass
+class ResourceUsage:
+    """Resource costs of a run, in the currencies of the three models.
+
+    Fields irrelevant to a particular model are left at zero (e.g. a
+    streaming run has no communication).  All bit counts follow the
+    :class:`repro.core.accounting.BitCostModel` used by the run.
+    """
+
+    passes: int = 0
+    space_peak_items: int = 0
+    space_peak_bits: int = 0
+    rounds: int = 0
+    total_communication_bits: int = 0
+    max_message_bits: int = 0
+    max_machine_load_bits: int = 0
+    machine_count: int = 0
+    per_round: list[Mapping[str, int]] = field(default_factory=list)
+
+    def merge_max(self, other: "ResourceUsage") -> None:
+        """Point-wise maximum merge (used when combining sub-phases)."""
+        self.passes = max(self.passes, other.passes)
+        self.space_peak_items = max(self.space_peak_items, other.space_peak_items)
+        self.space_peak_bits = max(self.space_peak_bits, other.space_peak_bits)
+        self.rounds = max(self.rounds, other.rounds)
+        self.total_communication_bits = max(
+            self.total_communication_bits, other.total_communication_bits
+        )
+        self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
+        self.max_machine_load_bits = max(
+            self.max_machine_load_bits, other.max_machine_load_bits
+        )
+        self.machine_count = max(self.machine_count, other.machine_count)
+
+
+@dataclass
+class SolveResult:
+    """The outcome of one solver run.
+
+    Attributes
+    ----------
+    value:
+        ``f(S)``: the optimal value of the LP-type problem (problem-specific
+        type; for LP it is a lexicographic value object, whose ``.objective``
+        is the scalar optimum).
+    witness:
+        The optimal point.
+    basis_indices:
+        Indices of a basis of the full constraint set that certifies
+        ``value``.
+    iterations:
+        Total number of meta-algorithm iterations executed.
+    successful_iterations:
+        Number of iterations that passed the success test.
+    resources:
+        Exact resource usage of the run.
+    trace:
+        Optional per-iteration trace (enabled with ``keep_trace=True``).
+    metadata:
+        Free-form run metadata (algorithm name, parameters, seeds, ...).
+    """
+
+    value: Any
+    witness: Any
+    basis_indices: tuple[int, ...]
+    iterations: int = 0
+    successful_iterations: int = 0
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
+    trace: list[IterationRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """A flat dict convenient for printing benchmark tables."""
+        return {
+            "value": getattr(self.value, "objective", self.value),
+            "iterations": self.iterations,
+            "successful_iterations": self.successful_iterations,
+            "passes": self.resources.passes,
+            "rounds": self.resources.rounds,
+            "space_peak_items": self.resources.space_peak_items,
+            "space_peak_bits": self.resources.space_peak_bits,
+            "communication_bits": self.resources.total_communication_bits,
+            "max_machine_load_bits": self.resources.max_machine_load_bits,
+            **{f"meta_{k}": v for k, v in self.metadata.items()},
+        }

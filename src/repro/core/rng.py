@@ -1,0 +1,47 @@
+"""Random-number helpers shared across the library.
+
+All randomised components of the library accept either an integer seed, an
+existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy).  This
+module centralises the conversion so that every module spells it the same way
+and experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer, a
+    :class:`numpy.random.SeedSequence`, or an existing generator (returned
+    unchanged so that state is shared with the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used by the distributed substrates to give every site / machine its own
+    private randomness while keeping the whole experiment reproducible from a
+    single seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng_or_seed: SeedLike, salt: int = 0) -> int:
+    """Derive a deterministic integer seed from ``rng_or_seed`` and ``salt``."""
+    rng = as_generator(rng_or_seed)
+    base = int(rng.integers(0, 2**62 - 1))
+    return (base + 0x9E3779B97F4A7C15 * (salt + 1)) % (2**63 - 1)

@@ -1,0 +1,232 @@
+"""Weighted sampling primitives.
+
+Algorithm 1 samples constraints with probability proportional to their
+weights.  Each computation model needs a slightly different realisation of
+the same primitive:
+
+* in memory (the sequential reference implementation) we can simply draw from
+  the normalised weight vector;
+* in the streaming model the weights are only known *on the fly*, so we use
+  weighted reservoir sampling (Chao's procedure for a single slot and the
+  Efraimidis-Spirakis exponential-key scheme for ``m`` slots in one pass);
+* in the coordinator model the coordinator splits the ``m`` draws across the
+  sites with a multinomial on the per-site total weights (Lemma 3.7) and each
+  site then samples locally.
+
+All of those are implemented here so that the model-specific drivers stay
+thin and the statistical behaviour can be unit-tested in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .rng import SeedLike, as_generator
+
+__all__ = [
+    "normalise_weights",
+    "weighted_sample_with_replacement",
+    "weighted_sample_without_replacement",
+    "multinomial_split",
+    "WeightedReservoirSampler",
+    "ExponentialKeyReservoir",
+]
+
+
+def normalise_weights(weights: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Return ``weights`` normalised to sum to one.
+
+    Raises
+    ------
+    ValueError
+        If any weight is negative or all weights are zero.
+    """
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"weights must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError("weights must be non-empty")
+    if np.any(arr < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(arr.sum())
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    return arr / total
+
+
+def weighted_sample_with_replacement(
+    weights: Sequence[float] | np.ndarray,
+    size: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Draw ``size`` i.i.d. indices with probability proportional to weights."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    gen = as_generator(rng)
+    probs = normalise_weights(weights)
+    return gen.choice(len(probs), size=size, replace=True, p=probs)
+
+
+def weighted_sample_without_replacement(
+    weights: Sequence[float] | np.ndarray,
+    size: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Draw ``min(size, n)`` distinct indices, each inclusion proportional to weight.
+
+    Uses the Efraimidis-Spirakis exponential-key construction: index ``i``
+    receives key ``u_i^{1/w_i}`` for ``u_i ~ U(0,1)`` and the ``size`` largest
+    keys are kept.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    gen = as_generator(rng)
+    arr = np.asarray(weights, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("weights must be non-negative")
+    positive = np.flatnonzero(arr > 0)
+    if positive.size == 0:
+        raise ValueError("total weight must be positive")
+    size = min(size, positive.size)
+    if size == 0:
+        return np.empty(0, dtype=int)
+    # Keys in log-space for numerical stability: log(u) / w.
+    log_u = np.log(gen.random(positive.size))
+    keys = log_u / arr[positive]
+    chosen = positive[np.argsort(keys)[::-1][:size]]
+    return np.sort(chosen)
+
+
+def multinomial_split(
+    site_weights: Sequence[float] | np.ndarray,
+    size: int,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Split ``size`` draws across sites proportionally to their total weights.
+
+    This is the first round of the Lemma 3.7 two-round sampling procedure in
+    the coordinator model: the coordinator draws the per-site sample counts
+    ``y_i`` from a multinomial over the per-site weight totals.
+    """
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    gen = as_generator(rng)
+    probs = normalise_weights(site_weights)
+    return gen.multinomial(size, probs)
+
+
+@dataclass
+class WeightedReservoirSampler:
+    """Chao's weighted reservoir sampler for a single reservoir slot.
+
+    Feeding items one at a time (with their weights), the retained item is
+    distributed proportionally to the weights of everything seen so far.  The
+    streaming driver runs ``m`` independent copies of this sampler to draw an
+    i.i.d. (with replacement) weighted sample of size ``m`` in a single pass,
+    exactly matching the in-memory sampler used by Algorithm 1.
+    """
+
+    rng: np.random.Generator
+    total_weight: float = 0.0
+    item: object = None
+    items_seen: int = 0
+
+    @classmethod
+    def create(cls, rng: SeedLike = None) -> "WeightedReservoirSampler":
+        return cls(rng=as_generator(rng))
+
+    def offer(self, item: object, weight: float) -> None:
+        """Offer ``item`` with ``weight``; it replaces the held item w.p. w/W."""
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        self.items_seen += 1
+        if weight == 0:
+            return
+        self.total_weight += weight
+        if self.rng.random() < weight / self.total_weight:
+            self.item = item
+
+    @property
+    def is_empty(self) -> bool:
+        return self.total_weight == 0.0
+
+
+@dataclass
+class ExponentialKeyReservoir:
+    """Efraimidis-Spirakis reservoir holding the top-``capacity`` keyed items.
+
+    Produces a weighted sample *without* replacement in a single pass.  Used
+    by the streaming driver when distinct samples are preferred (the eps-net
+    guarantee only improves when duplicates are removed).
+    """
+
+    capacity: int
+    rng: np.random.Generator
+    _keys: list[float] = field(default_factory=list)
+    _items: list[object] = field(default_factory=list)
+    items_seen: int = 0
+
+    @classmethod
+    def create(cls, capacity: int, rng: SeedLike = None) -> "ExponentialKeyReservoir":
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        return cls(capacity=capacity, rng=as_generator(rng))
+
+    def offer(self, item: object, weight: float) -> None:
+        """Offer ``item`` with ``weight`` to the reservoir."""
+        if weight < 0:
+            raise ValueError(f"weight must be non-negative, got {weight}")
+        self.items_seen += 1
+        if weight == 0:
+            return
+        key = np.log(self.rng.random()) / weight
+        if len(self._keys) < self.capacity:
+            self._keys.append(key)
+            self._items.append(item)
+            return
+        worst = int(np.argmin(self._keys))
+        if key > self._keys[worst]:
+            self._keys[worst] = key
+            self._items[worst] = item
+
+    def sample(self) -> list[object]:
+        """Return the current sample (up to ``capacity`` items)."""
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def stream_weighted_sample(
+    stream: Iterable[tuple[object, float]],
+    size: int,
+    rng: SeedLike = None,
+    with_replacement: bool = True,
+) -> list[object]:
+    """Draw a weighted sample of ``size`` items from a one-shot stream.
+
+    Convenience wrapper used by tests and by the streaming driver: consumes
+    ``stream`` (an iterable of ``(item, weight)`` pairs) exactly once.
+    """
+    gen = as_generator(rng)
+    if with_replacement:
+        samplers = [WeightedReservoirSampler.create(gen) for _ in range(size)]
+        for item, weight in stream:
+            for sampler in samplers:
+                sampler.offer(item, weight)
+        return [s.item for s in samplers if not s.is_empty]
+    reservoir = ExponentialKeyReservoir.create(size, gen)
+    for item, weight in stream:
+        reservoir.offer(item, weight)
+    return reservoir.sample()
+
+
+def iter_chunks(sequence: Sequence, chunk_size: int) -> Iterator[Sequence]:
+    """Yield consecutive chunks of ``sequence`` of length ``chunk_size``."""
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, len(sequence), chunk_size):
+        yield sequence[start : start + chunk_size]

@@ -1,0 +1,135 @@
+"""Multiplicative weight bookkeeping for Algorithm 1.
+
+Algorithm 1 maintains a weight ``w(S)`` for every constraint ``S``; after a
+successful iteration every constraint violating the current basis has its
+weight multiplied by ``n^{1/r}`` (the *boost* factor).  Two realisations are
+provided:
+
+* :class:`ExplicitWeights` stores the full weight vector (used by the
+  sequential in-memory reference implementation and by the coordinator
+  sites, each of which only stores weights for its own constraints);
+
+* :class:`ImplicitWeights` never stores per-constraint weights.  Instead it
+  stores the bases of all successful iterations; the weight of a constraint
+  is ``boost ** (number of stored bases it violates)``.  This is exactly the
+  trick of Section 3.2 that lets the streaming implementation (and the MPC
+  machines) recompute weights on the fly with only ``O(nu * r)`` stored
+  bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ExplicitWeights", "ImplicitWeights", "boost_factor"]
+
+
+def boost_factor(num_constraints: int, r: int) -> float:
+    """Return Algorithm 1's weight boost ``n^{1/r}``."""
+    if num_constraints < 1:
+        raise ValueError(f"num_constraints must be >= 1, got {num_constraints}")
+    if r < 1:
+        raise ValueError(f"r must be >= 1, got {r}")
+    return float(num_constraints) ** (1.0 / r)
+
+
+@dataclass
+class ExplicitWeights:
+    """A dense weight vector with multiplicative updates.
+
+    Weights are kept in log-space internally so that ``boost ** t`` never
+    overflows even for many successful iterations (``n^{t/r}`` grows quickly).
+    """
+
+    log_weights: np.ndarray
+    boost: float
+
+    @classmethod
+    def uniform(cls, count: int, boost: float) -> "ExplicitWeights":
+        """All-ones weights over ``count`` constraints with boost factor ``boost``."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if boost <= 1.0:
+            raise ValueError(f"boost must exceed 1, got {boost}")
+        return cls(log_weights=np.zeros(count, dtype=float), boost=float(boost))
+
+    def __len__(self) -> int:
+        return int(self.log_weights.size)
+
+    def weight(self, index: int) -> float:
+        """Weight of constraint ``index`` (may be huge; prefer relative uses)."""
+        return float(np.exp(self.log_weights[index]))
+
+    def weights(self) -> np.ndarray:
+        """The full weight vector, normalised to a maximum of 1 to avoid overflow.
+
+        Sampling proportional to weights is invariant under a global scale,
+        so the normalisation does not change the algorithm's behaviour.
+        """
+        shifted = self.log_weights - self.log_weights.max()
+        return np.exp(shifted)
+
+    def total_weight_log(self) -> float:
+        """``log(sum of weights)`` computed stably."""
+        peak = self.log_weights.max()
+        return float(peak + np.log(np.exp(self.log_weights - peak).sum()))
+
+    def multiply(self, indices: Sequence[int] | np.ndarray) -> None:
+        """Multiply the weights at ``indices`` by the boost factor."""
+        idx = np.asarray(indices, dtype=int)
+        if idx.size == 0:
+            return
+        self.log_weights[idx] += np.log(self.boost)
+
+    def fraction(self, indices: Sequence[int] | np.ndarray) -> float:
+        """``w(indices) / w(all)`` computed stably in log-space."""
+        idx = np.asarray(indices, dtype=int)
+        if idx.size == 0:
+            return 0.0
+        peak = self.log_weights.max()
+        scaled = np.exp(self.log_weights - peak)
+        return float(scaled[idx].sum() / scaled.sum())
+
+
+@dataclass
+class ImplicitWeights:
+    """Weights derived from the list of stored (successful-iteration) bases.
+
+    ``violates(basis, index)`` must return ``True`` when the constraint with
+    the given index violates ``basis``.  The weight of constraint ``i`` is
+    then ``boost ** a_i`` with ``a_i`` the number of stored bases it violates
+    (Section 3.2).  Weights are reported relative to the maximum exponent so
+    that they stay finite.
+    """
+
+    boost: float
+    violates: Callable[[object, int], bool]
+    bases: list[object] = field(default_factory=list)
+
+    def record_basis(self, basis: object) -> None:
+        """Store the basis of a successful iteration."""
+        self.bases.append(basis)
+
+    @property
+    def num_bases(self) -> int:
+        return len(self.bases)
+
+    def exponent(self, index: int) -> int:
+        """Number of stored bases violated by constraint ``index``."""
+        return sum(1 for basis in self.bases if self.violates(basis, index))
+
+    def log_weight(self, index: int) -> float:
+        """``log w(index)`` = ``exponent * log(boost)``."""
+        return self.exponent(index) * float(np.log(self.boost))
+
+    def weight(self, index: int, reference_exponent: int = 0) -> float:
+        """Weight relative to ``boost ** reference_exponent``.
+
+        Sampling only needs weights up to a common factor; callers that worry
+        about overflow can pass the maximum exponent seen so far as the
+        reference.
+        """
+        return float(self.boost ** (self.exponent(index) - reference_exponent))

@@ -1,0 +1,46 @@
+"""Lower-bound machinery: TCI, Aug-Index, hard distributions, and protocols."""
+
+from .aug_index import (
+    AugIndexInstance,
+    aug_index_to_tci,
+    bit_from_tci_answer,
+    random_aug_index,
+)
+from .gadgets import differences, line_segment, origin_shift, slope_shift, step_curve
+from .hard_distribution import (
+    HardInstance,
+    LevelSchedule,
+    build_schedule,
+    sample_hard_instance,
+)
+from .protocols import (
+    ProtocolResult,
+    Transcript,
+    interactive_tci_protocol,
+    one_round_tci_protocol,
+)
+from .tci import TCIInstance, lp_optimum_to_index, tci_to_envelope_lp, tci_to_linear_program
+
+__all__ = [
+    "AugIndexInstance",
+    "aug_index_to_tci",
+    "bit_from_tci_answer",
+    "random_aug_index",
+    "differences",
+    "line_segment",
+    "origin_shift",
+    "slope_shift",
+    "step_curve",
+    "HardInstance",
+    "LevelSchedule",
+    "build_schedule",
+    "sample_hard_instance",
+    "ProtocolResult",
+    "Transcript",
+    "interactive_tci_protocol",
+    "one_round_tci_protocol",
+    "TCIInstance",
+    "lp_optimum_to_index",
+    "tci_to_envelope_lp",
+    "tci_to_linear_program",
+]

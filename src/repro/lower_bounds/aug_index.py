@@ -1,0 +1,131 @@
+"""The Augmented Indexing problem and its reduction to TCI (Lemma 5.6).
+
+In ``Aug-Index_n`` Alice holds a bit string ``x`` of length ``n``, Bob holds
+an index ``i*`` together with the prefix ``x_1 .. x_{i*-1}``, and Bob must
+output ``x_{i*}``.  Its one-round communication complexity is ``Omega(n)``,
+and Lemma 5.6 transfers that bound to TCI: the players build (with no
+communication) a TCI instance whose answer reveals ``x_{i*}``.
+
+The construction here follows the paper's recipe — Alice's curve is a step
+curve whose increments encode her bits, Bob's curve is a steep decreasing
+line anchored just above the two possible values of ``a_{i*+1}`` — with the
+indexing made fully explicit (the paper's description has an off-by-one in
+the step sizes that we resolve and verify exhaustively in the tests):
+
+* ``a_1 = 0`` and ``a_{j+1} = a_j + alpha + j + x_j``;
+* ``b_j = h - sigma * (j - (i* + 1))`` with
+  ``h = a_{i*} + alpha + i* + 1/2`` (the midpoint of the two candidate
+  values of ``a_{i*+1}``) and any slope ``sigma > 0``.
+
+Then the TCI answer is ``i*`` when ``x_{i*} = 1`` and ``i* + 1`` when
+``x_{i*} = 0``, so recovering the answer recovers the bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.rng import SeedLike, as_generator
+from .tci import TCIInstance
+
+__all__ = ["AugIndexInstance", "aug_index_to_tci", "bit_from_tci_answer", "random_aug_index"]
+
+
+@dataclass(frozen=True)
+class AugIndexInstance:
+    """An Augmented Indexing instance.
+
+    Attributes
+    ----------
+    bits:
+        Alice's bit string ``x`` (0/1 integer array of length ``m``).
+    index:
+        Bob's index ``i*`` (1-based, in ``[1, m]``).
+    """
+
+    bits: np.ndarray
+    index: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bits", np.asarray(self.bits, dtype=int).reshape(-1))
+        if self.bits.size < 1:
+            raise InvalidInstanceError("the bit string must be non-empty")
+        if not np.all(np.isin(self.bits, (0, 1))):
+            raise InvalidInstanceError("bits must be 0/1 valued")
+        if not 1 <= self.index <= self.bits.size:
+            raise InvalidInstanceError(
+                f"index must lie in [1, {self.bits.size}], got {self.index}"
+            )
+
+    @property
+    def length(self) -> int:
+        return int(self.bits.size)
+
+    @property
+    def prefix(self) -> np.ndarray:
+        """The prefix ``x_1 .. x_{i*-1}`` Bob is given."""
+        return self.bits[: self.index - 1].copy()
+
+    @property
+    def answer(self) -> int:
+        """The bit Bob must output."""
+        return int(self.bits[self.index - 1])
+
+
+def alice_curve(bits: np.ndarray, alpha: float = 0.0) -> np.ndarray:
+    """Alice's TCI curve: ``a_1 = 0``, ``a_{j+1} = a_j + alpha + j + x_j``."""
+    bits = np.asarray(bits, dtype=float).reshape(-1)
+    increments = alpha + np.arange(1, bits.size + 1, dtype=float) + bits
+    return np.concatenate([[0.0], np.cumsum(increments)])
+
+
+def aug_index_to_tci(
+    instance: AugIndexInstance, alpha: float = 0.0, sigma: float = 1.0
+) -> TCIInstance:
+    """Build the TCI instance of Lemma 5.6 from an Aug-Index instance.
+
+    Alice's curve only depends on her bits (and the public parameters
+    ``alpha`` and ``sigma``); Bob's curve only depends on his index, his
+    prefix, and the public parameters — so the instance can be built with no
+    communication, which is what makes the reduction work.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    m = instance.length
+    # One padding point beyond the last encoded bit so that the answer
+    # (which can be i* + 1 <= m + 1) always has a successor index.
+    n = m + 2
+    alice = alice_curve(np.append(instance.bits, 0), alpha=alpha)
+
+    # Bob reconstructs a_1 .. a_{i*} from his prefix.
+    prefix_curve = alice_curve(instance.prefix, alpha=alpha)
+    a_istar = float(prefix_curve[-1])
+    i_star = instance.index
+    anchor = a_istar + alpha + i_star + 0.5
+    positions = np.arange(1, n + 1, dtype=float)
+    bob = anchor - sigma * (positions - (i_star + 1))
+    return TCIInstance(alice=alice, bob=bob)
+
+
+def bit_from_tci_answer(instance: AugIndexInstance, tci_answer: int) -> int:
+    """Decode ``x_{i*}`` from the TCI answer (the last step of the reduction)."""
+    if tci_answer == instance.index:
+        return 1
+    if tci_answer == instance.index + 1:
+        return 0
+    raise InvalidInstanceError(
+        f"TCI answer {tci_answer} is incompatible with index {instance.index}"
+    )
+
+
+def random_aug_index(length: int, seed: SeedLike = None) -> AugIndexInstance:
+    """A uniformly random Aug-Index instance (the hard distribution for r=1)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    rng = as_generator(seed)
+    bits = rng.integers(0, 2, size=length)
+    index = int(rng.integers(1, length + 1))
+    return AugIndexInstance(bits=bits, index=index)

@@ -1,0 +1,88 @@
+"""Geometric gadgets used by the lower-bound constructions (Section 5.2).
+
+* :func:`line_segment` — the ``LineSegment(p1, p2, a, b)`` operator and the
+  two elementary facts about it (Fact 5.5) are exposed for the tests;
+* :func:`step_curve` — the ``StepCurve(X, alpha)`` operator: a convex,
+  increasing sequence whose increments encode the bits of ``X``;
+* :func:`slope_shift` / :func:`origin_shift` — the two operators used by the
+  recursive hard-instance construction of Section 5.3.3, realised as
+  explicit affine maps on value sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["line_segment", "step_curve", "slope_shift", "origin_shift", "differences"]
+
+
+def line_segment(
+    p1: tuple[float, float], p2: tuple[float, float], a: int, b: int
+) -> np.ndarray:
+    """Values ``z_a, ..., z_b`` of the line through ``p1`` and ``p2``.
+
+    Implements ``LineSegment(p1, p2, a, b)`` of Section 5.2: for every
+    integer ``i`` in ``[a, b]``, ``(i, z_i)`` lies on the unique line through
+    ``p1`` and ``p2`` (Fact 5.5 gives the closed form used here).
+    """
+    if a > b:
+        raise ValueError(f"a must not exceed b, got a={a}, b={b}")
+    x1, y1 = float(p1[0]), float(p1[1])
+    x2, y2 = float(p2[0]), float(p2[1])
+    if x1 == x2:
+        raise ValueError("the two points must have distinct x coordinates")
+    slope = (y2 - y1) / (x2 - x1)
+    positions = np.arange(a, b + 1, dtype=float)
+    return slope * (positions - x1) + y1
+
+
+def step_curve(bits: Sequence[int] | np.ndarray, alpha: float) -> np.ndarray:
+    """The ``StepCurve(X, alpha)`` sequence ``z_0, ..., z_m``.
+
+    ``z_0 = 0`` and ``z_i = z_{i-1} + alpha + i + x_i``; the increments are
+    strictly increasing (for ``alpha >= 0``), so the sequence is convex and
+    increasing, and the ``i``-th increment reveals the ``i``-th bit.
+    """
+    bit_array = np.asarray(bits, dtype=float).reshape(-1)
+    if bit_array.size and not np.all(np.isin(bit_array, (0.0, 1.0))):
+        raise ValueError("bits must be 0/1 valued")
+    increments = alpha + np.arange(1, bit_array.size + 1, dtype=float) + bit_array
+    values = np.concatenate([[0.0], np.cumsum(increments)])
+    return values
+
+
+def differences(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Consecutive differences of a value sequence (empty for length <= 1)."""
+    arr = np.asarray(values, dtype=float).reshape(-1)
+    if arr.size <= 1:
+        return np.zeros(0)
+    return np.diff(arr)
+
+
+def slope_shift(values: Sequence[float] | np.ndarray, alpha: float) -> np.ndarray:
+    """Add ``alpha`` to every increment of a value sequence.
+
+    This is the slope-shift operator: a curve with increments ``delta_i``
+    becomes one with increments ``delta_i + alpha`` (the first value is kept
+    fixed).  Applied with the same ``alpha`` to both curves of a TCI
+    sub-instance it preserves the crossing index, because the pointwise
+    difference of the two curves is unchanged.
+    """
+    arr = np.asarray(values, dtype=float).reshape(-1)
+    if arr.size == 0:
+        return arr.copy()
+    offsets = alpha * np.arange(arr.size, dtype=float)
+    return arr + offsets
+
+
+def origin_shift(values: Sequence[float] | np.ndarray, offset: float) -> np.ndarray:
+    """Translate a value sequence vertically by ``offset``.
+
+    This is the origin-shift operator restricted to the value axis: the
+    horizontal placement of a sub-instance is handled by the block layout of
+    the recursive construction, so only the vertical anchoring remains.
+    """
+    arr = np.asarray(values, dtype=float).reshape(-1)
+    return arr + float(offset)

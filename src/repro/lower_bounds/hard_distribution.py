@@ -1,0 +1,319 @@
+"""The recursive hard input distribution ``D_r`` for TCI (Section 5.3.3).
+
+An ``r``-round hard instance over ``n = N^r`` points is built from ``N``
+independent ``(r-1)``-round sub-instances of length ``N^{r-1}``, one of which
+(the *special* sub-instance, indexed by the hidden ``z*``) carries the
+answer.  The composite curve of the first speaker (Alice for odd ``r``, Bob
+for even ``r``) is the concatenation of all sub-instances' curves, so it is
+oblivious to ``z*``; the other player's curve is the special sub-instance's
+curve extended by straight lines across the remaining blocks.
+
+The paper glues the sub-instances with *slope-shift* and *origin-shift*
+operators whose exact parameters are left implicit; this implementation
+makes them fully explicit and deterministic:
+
+* every block ``i`` receives a non-negative slope shift ``s_i`` (the same
+  linear ramp is added to *both* curves of the block, so the block's
+  crossing index is unchanged) chosen from a closed-form schedule that
+  guarantees the concatenated curve is valid (increasing and convex for
+  Alice, decreasing and convex for Bob — see the convention note in
+  :mod:`repro.lower_bounds.tci`);
+* every block receives a vertical origin shift that makes the concatenated
+  curve continuous-in-convexity across block boundaries;
+* the base (``r = 1``) instances are the Lemma 5.6 / Aug-Index instances,
+  generated with a *Bob steepness floor* — a minimum magnitude of Bob's
+  decrement — pre-computed top-down so that every slope shift applied higher
+  up in the recursion leaves Bob's curve decreasing.
+
+Propositions 5.7-5.10 are verified directly by the test-suite on sampled
+instances: composite instances satisfy the TCI promise, and the global
+answer equals the special block's offset plus the special sub-instance's
+answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.exceptions import InvalidInstanceError
+from ..core.rng import SeedLike, as_generator
+from .aug_index import AugIndexInstance, aug_index_to_tci
+from .tci import TCIInstance
+
+__all__ = ["HardInstance", "LevelSchedule", "build_schedule", "sample_hard_instance"]
+
+
+@dataclass(frozen=True)
+class HardInstance:
+    """A sampled hard instance together with its hidden structure.
+
+    Attributes
+    ----------
+    instance:
+        The composite TCI instance handed to the players.
+    special_block:
+        The hidden index ``z*`` (1-based) of the special sub-instance at the
+        top level (``0`` for base instances).
+    block_length:
+        Length of each top-level block (``N^{r-1}``).
+    sub_answer:
+        The answer of the (transformed) special sub-instance, relative to
+        its own block.
+    answer:
+        The answer of the composite instance
+        (``(z* - 1) * block_length + sub_answer`` for composite instances).
+    rounds:
+        The recursion depth ``r`` the instance was built for.
+    """
+
+    instance: TCIInstance
+    special_block: int
+    block_length: int
+    sub_answer: int
+    answer: int
+    rounds: int
+
+
+@dataclass(frozen=True)
+class LevelSchedule:
+    """Pre-computed validity parameters for one level of the recursion.
+
+    ``alice_floor`` / ``bob_floor`` are the steepness floors required of the
+    curves generated *below* this level; ``alice_range`` / ``bob_range`` are
+    upper bounds on the spread (max minus min) of the increments of the
+    curves produced *at* this level; ``shift_step`` is the slope-shift
+    increment between consecutive blocks at this level (0 for the base
+    level).
+    """
+
+    level: int
+    alice_composite: bool
+    alice_floor: float
+    bob_floor: float
+    alice_range: float
+    bob_range: float
+    shift_step: float
+
+
+def build_schedule(branching: int, rounds: int) -> list[LevelSchedule]:
+    """Compute the per-level floors, ranges, and shift steps.
+
+    The ranges track, for each level, the width of the interval containing
+    *every possible* increment of any instance of that level (Alice and Bob
+    separately); they grow bottom-up as
+
+    * Alice-composite level:  ``shift = range_A + 1``, then both ranges grow
+      by ``(N - 1) * shift`` (every block may receive any shift in the
+      schedule, and the special block's Bob curve inherits its block's
+      shift);
+    * Bob-composite level:    ``shift = range_B + 1``, then both ranges grow
+      by ``(N - 1) * shift``,
+
+    starting from ``range_A = N + 1`` and ``range_B = 0`` for the base
+    instances.  All shifts are non-negative, so only Bob's curve (which must
+    stay decreasing) needs a steepness floor; it accumulates the shift span
+    of every level above it.  Level ``ell`` is Alice-composite when ``ell``
+    is odd and Bob-composite when ``ell`` is even, matching ``OddInstance`` /
+    ``EvenInstance`` in the paper.
+    """
+    if branching < 2:
+        raise ValueError("branching factor must be >= 2")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+
+    # Bottom-up: increment-interval widths and shift steps per level.
+    alice_range = [0.0] * (rounds + 1)
+    bob_range = [0.0] * (rounds + 1)
+    shift_step = [0.0] * (rounds + 1)
+    alice_range[1] = float(branching + 1)
+    bob_range[1] = 0.0
+    for level in range(2, rounds + 1):
+        if level % 2 == 1:  # Alice-composite
+            shift_step[level] = alice_range[level - 1] + 1.0
+        else:  # Bob-composite
+            shift_step[level] = bob_range[level - 1] + 1.0
+        span = (branching - 1) * shift_step[level]
+        alice_range[level] = alice_range[level - 1] + span
+        bob_range[level] = bob_range[level - 1] + span
+
+    # Top-down: steepness floors required below each level.  Every composite
+    # level tilts the curves upward by at most its shift span, so Bob's floor
+    # (the minimum magnitude of his decrements) accumulates the spans; Alice
+    # only ever becomes steeper, so her floor stays at 1.
+    alice_floor = [1.0] * (rounds + 1)
+    bob_floor = [1.0] * (rounds + 1)
+    for level in range(rounds, 1, -1):
+        span = (branching - 1) * shift_step[level]
+        bob_floor[level - 1] = bob_floor[level] + span
+        alice_floor[level - 1] = alice_floor[level]
+
+    return [
+        LevelSchedule(
+            level=level,
+            alice_composite=(level % 2 == 1),
+            alice_floor=alice_floor[level],
+            bob_floor=bob_floor[level],
+            alice_range=alice_range[level],
+            bob_range=bob_range[level],
+            shift_step=shift_step[level],
+        )
+        for level in range(1, rounds + 1)
+    ]
+
+
+def _base_instance(
+    branching: int,
+    schedule: LevelSchedule,
+    rng: np.random.Generator,
+) -> HardInstance:
+    """Sample a base (Lemma 5.6) instance respecting the steepness floors."""
+    num_bits = branching - 2
+    if num_bits < 1:
+        raise InvalidInstanceError("branching factor must be at least 3 for base instances")
+    bits = rng.integers(0, 2, size=num_bits)
+    index = int(rng.integers(1, num_bits + 1))
+    aug = AugIndexInstance(bits=bits, index=index)
+    tci = aug_index_to_tci(aug, alpha=schedule.alice_floor, sigma=schedule.bob_floor)
+    answer = tci.solve()
+    return HardInstance(
+        instance=tci,
+        special_block=0,
+        block_length=tci.length,
+        sub_answer=answer,
+        answer=answer,
+        rounds=1,
+    )
+
+
+def _apply_block_transform(
+    values: np.ndarray, slope: float, offset: float
+) -> np.ndarray:
+    """Add the ramp ``offset + slope * position`` to a block's values."""
+    positions = np.arange(values.size, dtype=float)
+    return values + offset + slope * positions
+
+
+def _compose(
+    children: list[HardInstance],
+    special_block: int,
+    schedule: LevelSchedule,
+    branching: int,
+) -> HardInstance:
+    """Glue ``branching`` child instances into one composite instance."""
+    block_length = children[0].instance.length
+    n = block_length * branching
+    alice_composite = schedule.alice_composite
+
+    # Slope shift per block: non-negative and increasing with the block
+    # index, so the concatenated curve's increments keep growing (Alice's
+    # stay increasing-convex, Bob's stay convex while remaining negative
+    # thanks to the steepness floor of the schedule).
+    slopes = [schedule.shift_step * i for i in range(branching)]
+
+    transformed_alice: list[np.ndarray] = []
+    transformed_bob: list[np.ndarray] = []
+    # First pass: apply slope shifts (vertical offsets are fixed afterwards so
+    # that the composite curve is continuous in the convexity sense).
+    for i, child in enumerate(children):
+        transformed_alice.append(_apply_block_transform(child.instance.alice, slopes[i], 0.0))
+        transformed_bob.append(_apply_block_transform(child.instance.bob, slopes[i], 0.0))
+
+    # Second pass: vertical offsets for the composite curve.
+    composite_blocks = transformed_alice if alice_composite else transformed_bob
+    offsets = [0.0] * branching
+    for i in range(1, branching):
+        prev = composite_blocks[i - 1] + offsets[i - 1]
+        current = composite_blocks[i]
+        if alice_composite:
+            # Boundary increment = first increment of the new block.
+            boundary = current[1] - current[0] if current.size > 1 else 1.0
+            offsets[i] = float(prev[-1] + boundary - current[0])
+        else:
+            boundary = current[1] - current[0] if current.size > 1 else -1.0
+            offsets[i] = float(prev[-1] + boundary - current[0])
+
+    # Build the composite (first speaker's) curve.
+    composite = np.concatenate(
+        [composite_blocks[i] + offsets[i] for i in range(branching)]
+    )
+
+    # Build the other player's curve: the special block's curve, extended by
+    # straight lines on both sides.  The special block inherits the SAME
+    # slope shift and vertical offset as its composite counterpart, so the
+    # within-block difference of the two curves (and hence the crossing
+    # index) is preserved.
+    z = special_block  # 1-based
+    special_child = children[z - 1]
+    special_offset = offsets[z - 1]
+    if alice_composite:
+        special_curve = transformed_bob[z - 1] + special_offset
+    else:
+        special_curve = transformed_alice[z - 1] + special_offset
+
+    first_diff = float(special_curve[1] - special_curve[0])
+    last_diff = float(special_curve[-1] - special_curve[-2])
+    block_start = (z - 1) * block_length  # 0-based global position of the block's first point
+
+    other = np.empty(n, dtype=float)
+    other[block_start : block_start + block_length] = special_curve
+    # Left extension along the first segment's line.
+    left_positions = np.arange(block_start, dtype=float)
+    other[:block_start] = special_curve[0] - first_diff * (block_start - left_positions)
+    # Right extension along the last segment's line.
+    right_count = n - (block_start + block_length)
+    if right_count > 0:
+        steps = np.arange(1, right_count + 1, dtype=float)
+        other[block_start + block_length :] = special_curve[-1] + last_diff * steps
+
+    if alice_composite:
+        alice, bob = composite, other
+    else:
+        alice, bob = other, composite
+
+    instance = TCIInstance(alice=alice, bob=bob)
+    sub_answer = special_child.answer
+    answer = (z - 1) * block_length + sub_answer
+    return HardInstance(
+        instance=instance,
+        special_block=z,
+        block_length=block_length,
+        sub_answer=sub_answer,
+        answer=answer,
+        rounds=schedule.level,
+    )
+
+
+def sample_hard_instance(
+    branching: int,
+    rounds: int,
+    seed: SeedLike = None,
+) -> HardInstance:
+    """Sample an instance from the hard distribution ``D_rounds``.
+
+    Parameters
+    ----------
+    branching:
+        ``N``, the number of sub-instances per level (and the base-instance
+        length); must be at least 3.
+    rounds:
+        ``r``, the recursion depth; the instance has ``N^r`` points.
+    seed:
+        Randomness for the bits, indices, and hidden block choices.
+    """
+    if branching < 3:
+        raise ValueError("branching must be >= 3")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    rng = as_generator(seed)
+    schedule = build_schedule(branching, rounds)
+
+    def build(level: int) -> HardInstance:
+        if level == 1:
+            return _base_instance(branching, schedule[0], rng)
+        children = [build(level - 1) for _ in range(branching)]
+        special = int(rng.integers(1, branching + 1))
+        return _compose(children, special, schedule[level - 1], branching)
+
+    return build(rounds)

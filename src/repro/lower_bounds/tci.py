@@ -1,0 +1,225 @@
+"""The Two-Curve Intersection problem (TCI, Section 5.2).
+
+Alice holds a monotonically increasing convex sequence ``A`` and Bob a
+monotonically decreasing convex sequence ``B``, both of length ``n``, with
+the promise that there is an index ``i*`` with ``a_{i*} <= b_{i*}`` and
+``a_{i*+1} > b_{i*+1}``.  The goal is to find the smallest such index.
+
+Note on the convexity convention: the paper's prose states the convexity of
+``B`` as "``b_i - b_{i-1} >= b_{i+1} - b_i``" (differences non-increasing),
+but its own reduction to 2-dimensional linear programming (Figure 1b) — where
+the feasible region is the set of points above *both* curves and each curve
+must therefore equal the upper envelope of its segment lines — requires both
+curves to be convex as functions.  We adopt the convex convention
+(differences of ``B`` non-decreasing) throughout; the Aug-Index hard
+instances (where ``B`` is a straight line) satisfy both conventions, so none
+of the lower-bound reductions are affected.
+
+This module provides:
+
+* :class:`TCIInstance` — the instance representation with promise
+  validation and an exact solver;
+* :func:`tci_to_linear_program` — the reduction of Section 5.2 from TCI to a
+  2-dimensional linear program (Figure 1b): every curve segment is extended
+  to a line whose upper halfplane is a constraint, the LP minimises the
+  ``y``-coordinate over the feasible region, and flooring the ``x``
+  coordinate of the optimum recovers ``i*``;
+* :func:`tci_to_envelope_lp` — the same constraint lines in the upper
+  envelope form consumed by the Chan-Chen baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import InvalidInstanceError
+from ..problems.linear_program import LinearProgram
+from .gadgets import differences
+
+__all__ = ["TCIInstance", "tci_to_linear_program", "tci_to_envelope_lp", "lp_optimum_to_index"]
+
+_PROMISE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class TCIInstance:
+    """A two-curve-intersection instance ``(A, B)``.
+
+    Attributes
+    ----------
+    alice:
+        Alice's increasing convex sequence.
+    bob:
+        Bob's decreasing convex sequence (differences non-decreasing).
+    """
+
+    alice: np.ndarray
+    bob: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alice", np.asarray(self.alice, dtype=float).reshape(-1))
+        object.__setattr__(self, "bob", np.asarray(self.bob, dtype=float).reshape(-1))
+        if self.alice.size != self.bob.size:
+            raise InvalidInstanceError(
+                f"curves have different lengths: {self.alice.size} vs {self.bob.size}"
+            )
+        if self.alice.size < 2:
+            raise InvalidInstanceError("TCI instances need at least two points")
+
+    # ------------------------------------------------------------------ #
+    # Promise validation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def length(self) -> int:
+        return int(self.alice.size)
+
+    def alice_is_valid(self) -> bool:
+        """Alice's curve must be increasing and convex."""
+        diffs = differences(self.alice)
+        increasing = bool(np.all(diffs > -_PROMISE_TOLERANCE))
+        convex = bool(np.all(np.diff(diffs) >= -_PROMISE_TOLERANCE)) if diffs.size > 1 else True
+        return increasing and convex
+
+    def bob_is_valid(self) -> bool:
+        """Bob's curve must be decreasing and convex (differences non-decreasing)."""
+        diffs = differences(self.bob)
+        decreasing = bool(np.all(diffs < _PROMISE_TOLERANCE))
+        convex = bool(np.all(np.diff(diffs) >= -_PROMISE_TOLERANCE)) if diffs.size > 1 else True
+        return decreasing and convex
+
+    def crossing_exists(self) -> bool:
+        """Whether the promised crossing index exists."""
+        return self.solve(validate=False) is not None
+
+    def is_valid(self) -> bool:
+        """Full promise check: both curves valid and a crossing exists."""
+        return self.alice_is_valid() and self.bob_is_valid() and self.crossing_exists()
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidInstanceError` when the promise is violated."""
+        if not self.alice_is_valid():
+            raise InvalidInstanceError("Alice's curve is not increasing and convex")
+        if not self.bob_is_valid():
+            raise InvalidInstanceError("Bob's curve is not decreasing and convex")
+        if not self.crossing_exists():
+            raise InvalidInstanceError("the promised crossing index does not exist")
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+
+    def solve(self, validate: bool = True) -> int | None:
+        """The smallest index ``i`` (1-based) with ``a_i <= b_i < a_{i+1} > b_{i+1}``.
+
+        Returns ``None`` when no such index exists and ``validate`` is
+        ``False``; raises otherwise.
+        """
+        below = self.alice <= self.bob + _PROMISE_TOLERANCE
+        for i in range(self.length - 1):
+            if below[i] and not below[i + 1]:
+                return i + 1  # 1-based index, as in the paper
+        if validate:
+            raise InvalidInstanceError("the promised crossing index does not exist")
+        return None
+
+    def solve_binary_search(self) -> int:
+        """The crossing index via binary search on ``A - B`` (which is increasing).
+
+        Used by the interactive communication protocols: the difference
+        sequence ``a_i - b_i`` is non-decreasing under the promise, so the
+        sign change can be located with ``O(log n)`` probes.
+        """
+        low, high = 0, self.length - 1  # 0-based positions
+        # Invariant: a[low] <= b[low] and a[high] > b[high].
+        if self.alice[low] > self.bob[low] + _PROMISE_TOLERANCE:
+            raise InvalidInstanceError("curve A starts above curve B")
+        if self.alice[high] <= self.bob[high] + _PROMISE_TOLERANCE:
+            raise InvalidInstanceError("curve A never goes above curve B")
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self.alice[mid] <= self.bob[mid] + _PROMISE_TOLERANCE:
+                low = mid
+            else:
+                high = mid
+        return low + 1  # 1-based
+
+
+def _segment_lines(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Slopes and intercepts of the lines extending each curve segment.
+
+    Segment ``i`` joins the points ``(i+1, values[i])`` and
+    ``(i+2, values[i+1])`` (1-based x positions, as in the paper's figures).
+    """
+    positions = np.arange(1, values.size + 1, dtype=float)
+    slopes = np.diff(values) / np.diff(positions)
+    intercepts = values[:-1] - slopes * positions[:-1]
+    return slopes, intercepts
+
+
+def tci_to_linear_program(instance: TCIInstance, box_bound: float | None = None) -> LinearProgram:
+    """Reduce a TCI instance to a 2-dimensional linear program (Figure 1b).
+
+    Each segment of each curve is extended to a full line; the constraint
+    requires the point ``(x, y)`` to lie on or above that line.  Minimising
+    ``y`` over the feasible region puts the optimum at the crossing of the
+    two curves' upper envelopes; flooring its ``x`` coordinate recovers the
+    TCI answer (see :func:`lp_optimum_to_index`).
+    """
+    a_slopes, a_intercepts = _segment_lines(instance.alice)
+    b_slopes, b_intercepts = _segment_lines(instance.bob)
+    slopes = np.concatenate([a_slopes, b_slopes])
+    intercepts = np.concatenate([a_intercepts, b_intercepts])
+
+    # y >= s * x + t   <=>   s * x - y <= -t
+    a_matrix = np.column_stack([slopes, -np.ones_like(slopes)])
+    b_vector = -intercepts
+    if box_bound is None:
+        # The optimum's coordinates are bounded by the curve values; pad generously.
+        largest = float(
+            max(
+                np.abs(instance.alice).max(),
+                np.abs(instance.bob).max(),
+                instance.length,
+            )
+        )
+        box_bound = 10.0 * largest + 10.0
+    objective = np.array([0.0, 1.0])
+    # The optimum of this LP is the unique crossing vertex of the two upper
+    # envelopes, so the lexicographic tie-breaking of the general LP-type
+    # formulation is unnecessary; disabling it avoids the extra refinement
+    # solves (and their tolerance slack) when decoding the answer.
+    return LinearProgram(
+        c=objective, a=a_matrix, b=b_vector, box_bound=box_bound, lexicographic=False
+    )
+
+
+def tci_to_envelope_lp(instance: TCIInstance):
+    """The same reduction in upper-envelope form (for the Chan-Chen baseline)."""
+    from ..algorithms.chan_chen import EnvelopeLP
+
+    a_slopes, a_intercepts = _segment_lines(instance.alice)
+    b_slopes, b_intercepts = _segment_lines(instance.bob)
+    slopes = np.concatenate([a_slopes, b_slopes])
+    intercepts = np.concatenate([a_intercepts, b_intercepts])
+    return EnvelopeLP(
+        slopes=slopes,
+        intercepts=intercepts,
+        x_low=1.0,
+        x_high=float(instance.length),
+    )
+
+
+def lp_optimum_to_index(x_coordinate: float, length: int) -> int:
+    """Convert the LP optimum's ``x`` coordinate to the TCI answer.
+
+    The crossing of the two piecewise-linear curves happens at a fractional
+    ``x`` in ``[i*, i* + 1)``; rounding down (with a small relative tolerance
+    for the boundary case where the crossing is within solver accuracy of an
+    integer grid point) recovers ``i*``.
+    """
+    tolerance = 1e-6 * max(1.0, abs(float(x_coordinate)))
+    index = int(np.floor(x_coordinate + tolerance))
+    return max(1, min(length - 1, index))

@@ -1,0 +1,17 @@
+"""Computation-model substrates: streaming, coordinator, and MPC simulators."""
+
+from .coordinator import CoordinatorNetwork, Message, Site
+from .mpc import Machine, MPCCluster
+from .partition import partition_indices
+from .streaming import MultiPassStream, StreamingMemory
+
+__all__ = [
+    "CoordinatorNetwork",
+    "Message",
+    "Site",
+    "Machine",
+    "MPCCluster",
+    "partition_indices",
+    "MultiPassStream",
+    "StreamingMemory",
+]

@@ -1,0 +1,141 @@
+"""The coordinator-model substrate.
+
+``k`` sites each hold a part of the constraint set; a coordinator exchanges
+messages with the sites in rounds.  In every round the coordinator sends one
+message to each site and each site replies with one message.  The substrate
+tracks:
+
+* the number of rounds,
+* the total number of bits exchanged (in both directions),
+* the largest single message.
+
+Messages carry real payloads (the drivers are written so that a site only
+ever reads its own constraints plus what it received), but the accounting is
+what the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.accounting import BitCostModel, RoundLedger
+from ..core.exceptions import CommunicationError
+
+__all__ = ["Message", "Site", "CoordinatorNetwork"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message with an explicit bit size and an arbitrary payload."""
+
+    payload: Any
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise ValueError("message size must be non-negative")
+
+
+@dataclass
+class Site:
+    """One site of the coordinator model: its id and its local constraint indices."""
+
+    site_id: int
+    local_indices: np.ndarray
+    state: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.local_indices = np.asarray(self.local_indices, dtype=int)
+
+    @property
+    def num_local(self) -> int:
+        return int(self.local_indices.size)
+
+
+class CoordinatorNetwork:
+    """Round-based communication between a coordinator and ``k`` sites."""
+
+    def __init__(
+        self,
+        local_indices: Sequence[np.ndarray],
+        cost_model: BitCostModel | None = None,
+    ) -> None:
+        if not local_indices:
+            raise ValueError("need at least one site")
+        self.sites = [Site(site_id=i, local_indices=idx) for i, idx in enumerate(local_indices)]
+        self.cost_model = cost_model or BitCostModel()
+        self.ledger = RoundLedger()
+        self._round_open = False
+        self._round_bits_down = 0
+        self._round_bits_up = 0
+        self.max_message_bits = 0
+        self.total_bits = 0
+
+    # ------------------------------------------------------------------ #
+    # Round management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def rounds(self) -> int:
+        return self.ledger.num_rounds
+
+    def begin_round(self) -> None:
+        if self._round_open:
+            raise CommunicationError("previous round is still open")
+        self._round_open = True
+        self._round_bits_down = 0
+        self._round_bits_up = 0
+
+    def end_round(self) -> None:
+        if not self._round_open:
+            raise CommunicationError("no round is open")
+        self.ledger.record(
+            bits_down=self._round_bits_down,
+            bits_up=self._round_bits_up,
+            bits=self._round_bits_down + self._round_bits_up,
+        )
+        self._round_open = False
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+
+    def coordinator_to_site(self, site_id: int, message: Message) -> Message:
+        """Deliver a coordinator message to a site (counted as downstream bits)."""
+        self._check_open(site_id)
+        self._round_bits_down += message.bits
+        self._register(message.bits)
+        return message
+
+    def site_to_coordinator(self, site_id: int, message: Message) -> Message:
+        """Deliver a site's reply to the coordinator (counted as upstream bits)."""
+        self._check_open(site_id)
+        self._round_bits_up += message.bits
+        self._register(message.bits)
+        return message
+
+    def broadcast(self, message: Message) -> None:
+        """Send the same message from the coordinator to every site."""
+        for site in self.sites:
+            self.coordinator_to_site(site.site_id, message)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _check_open(self, site_id: int) -> None:
+        if not self._round_open:
+            raise CommunicationError("messages may only be sent inside an open round")
+        if not 0 <= site_id < self.num_sites:
+            raise CommunicationError(f"site {site_id} does not exist")
+
+    def _register(self, bits: int) -> None:
+        self.total_bits += bits
+        self.max_message_bits = max(self.max_message_bits, bits)

@@ -1,0 +1,66 @@
+"""Partitioning of constraint indices across sites / machines.
+
+The coordinator and MPC models assume the input is *arbitrarily* partitioned
+across the machines; algorithms must work for every partition.  The helpers
+here produce the partitions used by tests and benchmarks, including skewed
+and adversarial ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import SeedLike, as_generator
+
+__all__ = ["partition_indices"]
+
+_METHODS = ("round_robin", "contiguous", "random", "skewed")
+
+
+def partition_indices(
+    num_items: int,
+    num_parts: int,
+    method: str = "round_robin",
+    seed: SeedLike = None,
+    skew: float = 2.0,
+) -> list[np.ndarray]:
+    """Split ``range(num_items)`` into ``num_parts`` disjoint index arrays.
+
+    Parameters
+    ----------
+    num_items:
+        Number of constraints to distribute.
+    num_parts:
+        Number of sites / machines; every part is returned even if empty.
+    method:
+        ``"round_robin"`` (item ``i`` to part ``i mod k``), ``"contiguous"``
+        (equal consecutive blocks), ``"random"`` (uniformly random
+        assignment), or ``"skewed"`` (random assignment with a power-law
+        preference for low-numbered parts, to exercise load imbalance).
+    seed:
+        Randomness for the random / skewed methods.
+    skew:
+        Exponent of the power-law used by the skewed method.
+    """
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    if method not in _METHODS:
+        raise ValueError(f"unknown partition method {method!r}; choose from {_METHODS}")
+
+    indices = np.arange(num_items, dtype=int)
+    if method == "round_robin":
+        return [indices[p::num_parts] for p in range(num_parts)]
+    if method == "contiguous":
+        boundaries = np.linspace(0, num_items, num_parts + 1, dtype=int)
+        return [indices[boundaries[p] : boundaries[p + 1]] for p in range(num_parts)]
+
+    rng = as_generator(seed)
+    if method == "random":
+        assignment = rng.integers(0, num_parts, size=num_items)
+    else:  # skewed
+        raw = rng.random(num_parts) ** skew
+        probabilities = raw / raw.sum()
+        assignment = rng.choice(num_parts, size=num_items, p=probabilities)
+    return [indices[assignment == p] for p in range(num_parts)]

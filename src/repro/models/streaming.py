@@ -1,0 +1,99 @@
+"""The multi-pass streaming substrate.
+
+A :class:`MultiPassStream` presents the constraint indices of a problem in a
+fixed (arbitrary, possibly adversarial) order.  Every call to :meth:`scan`
+is one pass; the algorithm may make as many passes as it likes and the
+substrate counts them.  Memory is accounted separately through a
+:class:`StreamingMemory` tracker: the algorithm reports what it currently
+stores (in items and in bits) and the tracker keeps the peak.
+
+The substrate never hands out the whole constraint set at once — drivers are
+expected to touch constraints only through the indices yielded by a scan, so
+the accounting is faithful to the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.accounting import CostMeter
+
+__all__ = ["MultiPassStream", "StreamingMemory"]
+
+
+class MultiPassStream:
+    """A re-scannable stream of constraint indices.
+
+    Parameters
+    ----------
+    num_items:
+        Number of constraints in the stream.
+    order:
+        Optional permutation of ``range(num_items)`` giving the arrival
+        order; defaults to the natural order.
+    """
+
+    def __init__(self, num_items: int, order: Sequence[int] | np.ndarray | None = None) -> None:
+        if num_items < 0:
+            raise ValueError("num_items must be non-negative")
+        if order is None:
+            self._order = np.arange(num_items, dtype=int)
+        else:
+            self._order = np.asarray(order, dtype=int)
+            if self._order.size != num_items:
+                raise ValueError(
+                    f"order has {self._order.size} entries, expected {num_items}"
+                )
+            if num_items and (
+                self._order.min() < 0
+                or self._order.max() >= num_items
+                or np.unique(self._order).size != num_items
+            ):
+                raise ValueError("order must be a permutation of range(num_items)")
+        self._passes = 0
+
+    @property
+    def num_items(self) -> int:
+        return int(self._order.size)
+
+    @property
+    def passes(self) -> int:
+        """Number of completed or started passes so far."""
+        return self._passes
+
+    def scan(self) -> Iterator[int]:
+        """Yield the constraint indices in stream order; counts as one pass."""
+        self._passes += 1
+        yield from (int(i) for i in self._order)
+
+    def order(self) -> np.ndarray:
+        """The arrival order (a copy)."""
+        return self._order.copy()
+
+
+@dataclass
+class StreamingMemory:
+    """Peak-memory tracker for a streaming algorithm.
+
+    The driver reports its currently stored items / bits; the tracker records
+    the peak footprint, which is the quantity Theorem 1 bounds.
+    """
+
+    items: CostMeter = field(default_factory=lambda: CostMeter("items"))
+    bits: CostMeter = field(default_factory=lambda: CostMeter("bits"))
+
+    def set_usage(self, items: int, bits: int) -> None:
+        """Report the current memory footprint."""
+        self.items.set_level(items)
+        self.bits.set_level(bits)
+
+    @property
+    def peak_items(self) -> int:
+        return self.items.peak
+
+    @property
+    def peak_bits(self) -> int:
+        return self.bits.peak

@@ -1,0 +1,27 @@
+"""Concrete LP-type problems: linear programming, linear SVM, and MEB."""
+
+from .linear_program import DEFAULT_BOX_BOUND, LexicographicValue, LinearProgram
+from .meb import Ball, MEBValue, MinimumEnclosingBall, badoiu_clarkson_meb
+from .qp import QPSolution, minimize_convex_qp
+from .seidel import SeidelResult, seidel_solve
+from .solvers import LPSolution, lexicographic_minimum, solve_lp
+from .svm import LinearSVM, SVMValue
+
+__all__ = [
+    "DEFAULT_BOX_BOUND",
+    "LexicographicValue",
+    "LinearProgram",
+    "Ball",
+    "MEBValue",
+    "MinimumEnclosingBall",
+    "badoiu_clarkson_meb",
+    "QPSolution",
+    "minimize_convex_qp",
+    "SeidelResult",
+    "seidel_solve",
+    "LPSolution",
+    "lexicographic_minimum",
+    "solve_lp",
+    "LinearSVM",
+    "SVMValue",
+]

@@ -1,0 +1,130 @@
+"""Small convex quadratic programming used by the SVM and MEB problems.
+
+Both the hard-margin linear SVM (Eq. 6) and the minimum enclosing ball
+(Eq. 7, after the standard change of variables) are convex quadratic programs
+with only ``d`` or ``d + 1`` variables and one linear inequality constraint
+per data point:
+
+* SVM:  ``min ||u||^2          s.t.  y_j <u, x_j> >= 1``
+* MEB:  ``min ||c||^2 + s      s.t.  2 <p_j, c> + s >= ||p_j||^2``
+  (the optimal radius is ``sqrt(s + ||c||^2)``)
+
+This module provides a generic solver for problems of the form::
+
+    min  (1/2) x' Q x + q' x     s.t.   G x >= h
+
+with ``Q`` positive semidefinite, built on SciPy's SLSQP.  The problem sizes
+the meta-algorithm produces (a handful of variables, at most a few thousand
+constraints from an eps-net sample) are comfortably within SLSQP's range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..core.exceptions import InfeasibleProblemError, SolverError
+
+__all__ = ["QPSolution", "minimize_convex_qp"]
+
+
+@dataclass(frozen=True)
+class QPSolution:
+    """Solution of a convex QP: the optimal point and objective value."""
+
+    x: np.ndarray
+    objective: float
+
+
+def minimize_convex_qp(
+    q_matrix: np.ndarray,
+    q_vector: np.ndarray,
+    g_matrix: Optional[np.ndarray] = None,
+    h_vector: Optional[np.ndarray] = None,
+    x0: Optional[np.ndarray] = None,
+    max_iterations: int = 200,
+    feasibility_tolerance: float = 1e-7,
+) -> QPSolution:
+    """Minimise ``(1/2) x' Q x + q' x`` subject to ``G x >= h``.
+
+    Parameters
+    ----------
+    q_matrix:
+        Positive semidefinite matrix ``Q`` of shape ``(d, d)``.
+    q_vector:
+        Linear term ``q`` of shape ``(d,)``.
+    g_matrix, h_vector:
+        Inequality constraints ``G x >= h`` (may be omitted / empty).
+    x0:
+        Optional warm start.
+    max_iterations:
+        SLSQP iteration budget.
+    feasibility_tolerance:
+        Maximum allowed constraint violation of the returned point; a larger
+        violation raises :class:`InfeasibleProblemError`.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If no feasible point is found (SLSQP converges to an infeasible
+        stationary point, the standard signature of an empty feasible set
+        for these problems).
+    SolverError
+        On any other optimiser failure.
+    """
+    q_matrix = np.asarray(q_matrix, dtype=float)
+    q_vector = np.asarray(q_vector, dtype=float).reshape(-1)
+    d = q_vector.size
+    if q_matrix.shape != (d, d):
+        raise ValueError(f"Q must have shape ({d}, {d}), got {q_matrix.shape}")
+
+    if g_matrix is None or len(g_matrix) == 0:
+        g = np.zeros((0, d))
+        h = np.zeros(0)
+    else:
+        g = np.asarray(g_matrix, dtype=float).reshape(-1, d)
+        h = np.asarray(h_vector, dtype=float).reshape(-1)
+    if g.shape[0] != h.shape[0]:
+        raise ValueError("G and h must have matching first dimensions")
+
+    def objective(x: np.ndarray) -> float:
+        return float(0.5 * x @ q_matrix @ x + q_vector @ x)
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        return q_matrix @ x + q_vector
+
+    constraints = []
+    if g.shape[0] > 0:
+        constraints.append(
+            {
+                "type": "ineq",
+                "fun": lambda x: g @ x - h,
+                "jac": lambda x: g,
+            }
+        )
+
+    start = np.zeros(d) if x0 is None else np.asarray(x0, dtype=float).reshape(d)
+    result = minimize(
+        objective,
+        start,
+        jac=gradient,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iterations, "ftol": 1e-12},
+    )
+
+    x = np.asarray(result.x, dtype=float)
+    if g.shape[0] > 0:
+        violation = float(np.max(h - g @ x, initial=0.0))
+    else:
+        violation = 0.0
+    if violation > max(feasibility_tolerance, 1e-6 * max(1.0, float(np.abs(h).max(initial=0.0)))):
+        raise InfeasibleProblemError(
+            f"QP appears infeasible (max constraint violation {violation:.3g})"
+        )
+    if not result.success and violation > feasibility_tolerance:
+        raise SolverError(f"SLSQP failed: {result.message}")
+    return QPSolution(x=x, objective=objective(x))

@@ -1,0 +1,202 @@
+"""Seidel's randomised incremental linear-programming algorithm.
+
+A from-scratch low-dimensional LP solver: expected ``O(d! * n)`` time, which
+is linear in ``n`` for fixed ``d`` — exactly the regime of the paper.  It is
+provided as an alternative basis-computation backend (ablation experiment A2)
+and as a dependency-free substrate: the library remains usable for LP even
+without SciPy's HiGHS.
+
+The solver handles problems of the form::
+
+    min  c . x
+    s.t. a_j . x <= b_j   for j in [n]
+         -M <= x_i <= M   for i in [d]   (bounding box)
+
+The bounding box guarantees a bounded optimum for every subset of the
+constraints, which is what the LP-type formulation needs.  The algorithm is
+the classical one: insert constraints in random order; when the new
+constraint is violated by the current optimum, recurse on the boundary of the
+new constraint (a ``d-1``-dimensional LP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.rng import SeedLike, as_generator
+
+__all__ = ["SeidelResult", "seidel_solve"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SeidelResult:
+    """Optimal point and value returned by :func:`seidel_solve`."""
+
+    x: np.ndarray
+    objective: float
+
+
+def seidel_solve(
+    c: np.ndarray,
+    a_ub: Optional[np.ndarray],
+    b_ub: Optional[np.ndarray],
+    box: float,
+    rng: SeedLike = None,
+) -> SeidelResult:
+    """Solve a low-dimensional LP with Seidel's randomised incremental method.
+
+    Parameters
+    ----------
+    c:
+        Objective vector of length ``d``.
+    a_ub, b_ub:
+        Inequality constraints ``a_ub x <= b_ub`` (may be ``None`` / empty).
+    box:
+        Half-width ``M`` of the bounding box ``[-M, M]^d``.
+    rng:
+        Randomness for the insertion order.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the constraints (within the box) are infeasible.
+    """
+    c = np.asarray(c, dtype=float)
+    d = int(c.size)
+    if d < 1:
+        raise ValueError("objective must have at least one coordinate")
+    if box <= 0:
+        raise ValueError(f"box must be positive, got {box}")
+    if a_ub is None or len(a_ub) == 0:
+        a = np.zeros((0, d))
+        b = np.zeros(0)
+    else:
+        a = np.asarray(a_ub, dtype=float).reshape(-1, d)
+        b = np.asarray(b_ub, dtype=float).reshape(-1)
+    if a.shape[0] != b.shape[0]:
+        raise ValueError("a_ub and b_ub must have matching first dimensions")
+
+    gen = as_generator(rng)
+    order = gen.permutation(a.shape[0])
+    x = _solve_recursive(c, a[order], b[order], np.full(d, box), np.full(d, -box), gen)
+    return SeidelResult(x=x, objective=float(c @ x))
+
+
+def _box_optimum(c: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Minimiser of ``c.x`` over the axis-aligned box ``[lo, hi]``."""
+    x = np.where(c > 0, lo, hi)
+    zero = np.isclose(c, 0.0)
+    # Deterministic choice for zero-coefficient coordinates (lexicographic-ish).
+    x = np.where(zero, lo, x)
+    if np.any(lo > hi + _EPS):
+        raise InfeasibleProblemError("empty bounding box")
+    return x.astype(float)
+
+
+def _solve_recursive(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    hi: np.ndarray,
+    lo: np.ndarray,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """Seidel recursion over the constraint list ``a x <= b`` within ``[lo, hi]``."""
+    d = c.size
+    if d == 1:
+        return _solve_one_dimensional(c, a, b, lo, hi)
+
+    x = _box_optimum(c, lo, hi)
+    for i in range(a.shape[0]):
+        if a[i] @ x <= b[i] + _EPS:
+            continue
+        # The optimum of the first i constraints violates constraint i, so the
+        # optimum of the first i+1 constraints lies on its boundary
+        # a[i] . x = b[i].  Eliminate one variable and recurse in d-1 dims.
+        x = _solve_on_hyperplane(c, a[: i + 1], b[: i + 1], a[i], b[i], lo, hi, gen)
+    return x
+
+
+def _solve_one_dimensional(
+    c: np.ndarray, a: np.ndarray, b: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> np.ndarray:
+    """Directly solve a one-variable LP."""
+    low, high = float(lo[0]), float(hi[0])
+    for coeff, bound in zip(a[:, 0] if a.size else [], b):
+        if coeff > _EPS:
+            high = min(high, bound / coeff)
+        elif coeff < -_EPS:
+            low = max(low, bound / coeff)
+        elif bound < -_EPS:
+            raise InfeasibleProblemError("contradictory constant constraint")
+    if low > high + 1e-7:
+        raise InfeasibleProblemError("one-dimensional feasible interval is empty")
+    value = low if c[0] > 0 else high
+    if abs(c[0]) <= _EPS:
+        value = low
+    return np.array([min(max(value, low), high)], dtype=float)
+
+
+def _solve_on_hyperplane(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    normal: np.ndarray,
+    offset: float,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """Solve the LP restricted to the hyperplane ``normal . x = offset``.
+
+    One variable (the one with the largest |coefficient| in ``normal``) is
+    eliminated; the box bounds of the eliminated variable become two extra
+    inequality constraints of the reduced problem.
+    """
+    d = c.size
+    pivot = int(np.argmax(np.abs(normal)))
+    if abs(normal[pivot]) <= _EPS:
+        # Degenerate constraint 0 . x <= b with b < 0: infeasible.
+        raise InfeasibleProblemError("degenerate violated constraint")
+    keep = [j for j in range(d) if j != pivot]
+
+    # x_pivot = (offset - sum_{j != pivot} normal_j x_j) / normal_pivot
+    ratio = normal[keep] / normal[pivot]
+    base = offset / normal[pivot]
+
+    # Reduced objective: c.x = c_keep . y + c_pivot * (base - ratio . y).
+    reduced_c = c[keep] - c[pivot] * ratio
+
+    reduced_rows: list[np.ndarray] = []
+    reduced_rhs: list[float] = []
+    for row, rhs in zip(a, b):
+        new_row = row[keep] - row[pivot] * ratio
+        new_rhs = rhs - row[pivot] * base
+        reduced_rows.append(new_row)
+        reduced_rhs.append(new_rhs)
+    # Box constraints of the eliminated variable: lo <= base - ratio.y <= hi.
+    reduced_rows.append(-ratio)
+    reduced_rhs.append(hi[pivot] - base)
+    reduced_rows.append(ratio)
+    reduced_rhs.append(base - lo[pivot])
+
+    reduced_a = np.asarray(reduced_rows, dtype=float)
+    reduced_b = np.asarray(reduced_rhs, dtype=float)
+
+    order = gen.permutation(reduced_a.shape[0])
+    y = _solve_recursive(
+        reduced_c, reduced_a[order], reduced_b[order], hi[keep], lo[keep], gen
+    )
+
+    x = np.empty(d, dtype=float)
+    x[keep] = y
+    x[pivot] = base - ratio @ y
+    if x[pivot] < lo[pivot] - 1e-6 or x[pivot] > hi[pivot] + 1e-6:
+        raise SolverError("eliminated variable escaped the bounding box")
+    return x

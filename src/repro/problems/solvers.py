@@ -1,0 +1,159 @@
+"""Dense low-dimensional LP solving used as the basis-computation substrate.
+
+Algorithm 1 repeatedly solves small linear programs: the LP restricted to an
+eps-net sample (to compute a basis) and to a basis (to recover its witness).
+Two interchangeable backends are provided:
+
+* :func:`solve_lp` — a thin wrapper around :func:`scipy.optimize.linprog`
+  (HiGHS), the robust default;
+* :mod:`repro.problems.seidel` — a from-scratch implementation of Seidel's
+  randomised incremental algorithm, exercised by the solver ablation.
+
+On top of the plain solve, :func:`lexicographic_minimum` implements the
+procedure of Proposition 4.1: the LP-type formulation of linear programming
+requires ``f(A)`` to be the *lexicographically smallest* optimal point, which
+is found by fixing the optimal objective value and then minimising the
+coordinates one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..core.exceptions import InfeasibleProblemError, SolverError, UnboundedProblemError
+
+__all__ = ["LPSolution", "solve_lp", "lexicographic_minimum"]
+
+#: Numerical tolerance used when comparing objective values and constraint slacks.
+DEFAULT_TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Solution of a single dense LP solve."""
+
+    x: np.ndarray
+    objective: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+
+
+def _as_bounds(bounds: Sequence[tuple[float, float]] | tuple[float, float], d: int):
+    """Normalise bounds to a per-variable list scipy accepts."""
+    if isinstance(bounds, tuple) and len(bounds) == 2 and np.isscalar(bounds[0]):
+        return [(float(bounds[0]), float(bounds[1]))] * d
+    bounds = list(bounds)
+    if len(bounds) != d:
+        raise ValueError(f"expected {d} bound pairs, got {len(bounds)}")
+    return [(float(lo), float(hi)) for lo, hi in bounds]
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    a_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    bounds: Sequence[tuple[float, float]] | tuple[float, float] = (None, None),
+) -> LPSolution:
+    """Solve ``min c.x  s.t.  a_ub x <= b_ub, a_eq x = b_eq, bounds``.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        If the feasible region is empty.
+    UnboundedProblemError
+        If the optimum is unbounded below.
+    SolverError
+        For any other solver failure.
+    """
+    c = np.asarray(c, dtype=float)
+    d = c.size
+    if bounds == (None, None):
+        lp_bounds = [(None, None)] * d
+    else:
+        lp_bounds = _as_bounds(bounds, d)
+
+    res = linprog(
+        c,
+        A_ub=None if a_ub is None or len(a_ub) == 0 else np.asarray(a_ub, dtype=float),
+        b_ub=None if b_ub is None or len(b_ub) == 0 else np.asarray(b_ub, dtype=float),
+        A_eq=None if a_eq is None or len(a_eq) == 0 else np.asarray(a_eq, dtype=float),
+        b_eq=None if b_eq is None or len(b_eq) == 0 else np.asarray(b_eq, dtype=float),
+        bounds=lp_bounds,
+        method="highs",
+    )
+    if res.status == 2:
+        raise InfeasibleProblemError("linear program is infeasible")
+    if res.status == 3:
+        raise UnboundedProblemError("linear program is unbounded")
+    if not res.success:
+        raise SolverError(f"linprog failed with status {res.status}: {res.message}")
+    return LPSolution(x=np.asarray(res.x, dtype=float), objective=float(res.fun))
+
+
+def lexicographic_minimum(
+    c: np.ndarray,
+    a_ub: Optional[np.ndarray],
+    b_ub: Optional[np.ndarray],
+    bounds: Sequence[tuple[float, float]] | tuple[float, float],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> LPSolution:
+    """Lexicographically smallest optimal point of an LP (Proposition 4.1).
+
+    First the optimal objective value ``c*`` is computed; the objective is
+    then pinned via an equality constraint and the coordinates are minimised
+    one at a time, pinning each as it is resolved.  This returns the unique
+    point the paper's LP-type formulation of linear programming designates as
+    ``f(A)``.
+    """
+    c = np.asarray(c, dtype=float)
+    d = c.size
+    if a_ub is not None and len(a_ub) > 0:
+        base_rows = [np.asarray(a_ub, dtype=float)]
+        base_rhs = [np.asarray(b_ub, dtype=float)]
+    else:
+        base_rows = []
+        base_rhs = []
+    first = solve_lp(c, a_ub=a_ub, b_ub=b_ub, bounds=bounds)
+    objective = first.objective
+    x = np.array(first.x, dtype=float)
+
+    # Pin the objective (and then each coordinate in turn) with a one-sided
+    # inequality at a tiny absolute slack instead of an exact equality: the
+    # optimum cannot move below the pinned value anyway, and the slack keeps
+    # HiGHS from declaring spurious infeasibility at large magnitudes.
+    pins_rows: list[np.ndarray] = [c]
+    pins_rhs: list[float] = [objective + tolerance * max(1.0, abs(objective))]
+
+    for coord in range(d):
+        unit = np.zeros(d)
+        unit[coord] = 1.0
+        stacked_rows = base_rows + [np.vstack(pins_rows)]
+        stacked_rhs = base_rhs + [np.asarray(pins_rhs)]
+        try:
+            sub = solve_lp(
+                unit,
+                a_ub=np.vstack(stacked_rows),
+                b_ub=np.concatenate(stacked_rhs),
+                bounds=bounds,
+            )
+        except (InfeasibleProblemError, SolverError):
+            # Numerical hiccup in the refinement: keep the best point so far.
+            break
+        x = sub.x
+        pins_rows.append(unit)
+        pins_rhs.append(float(sub.x[coord]) + tolerance * max(1.0, abs(float(sub.x[coord]))))
+
+    final_objective = float(c @ x)
+    if abs(final_objective - objective) > max(1.0, abs(objective)) * 1e-4:
+        raise SolverError(
+            "lexicographic refinement drifted from the optimal objective: "
+            f"{final_objective} vs {objective}"
+        )
+    return LPSolution(x=x, objective=final_objective)

@@ -1,0 +1,119 @@
+"""Classification workloads for the linear-SVM experiments.
+
+Generates linearly separable labelled point clouds with a guaranteed margin,
+plus the linear-separability LP of the paper's introduction (a feasibility /
+maximum-margin LP in the L-infinity norm, which is a low-dimensional linear
+program as opposed to the quadratic SVM objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import SeedLike, as_generator
+from ..problems.linear_program import DEFAULT_BOX_BOUND, LinearProgram
+from ..problems.svm import LinearSVM
+
+__all__ = [
+    "ClassificationData",
+    "make_separable_classification",
+    "svm_problem",
+    "linear_separability_lp",
+]
+
+
+@dataclass(frozen=True)
+class ClassificationData:
+    """Labelled points with a known separating direction and margin."""
+
+    points: np.ndarray
+    labels: np.ndarray
+    true_direction: np.ndarray
+    margin: float
+
+
+def make_separable_classification(
+    num_samples: int,
+    num_features: int,
+    seed: SeedLike = None,
+    margin: float = 0.5,
+    spread: float = 2.0,
+) -> ClassificationData:
+    """Points separable by a hyperplane through the origin with a fixed margin.
+
+    Points are drawn from a Gaussian, projected away from the separating
+    hyperplane so that every point satisfies ``y * <w, x> >= margin`` for the
+    (unit) true direction ``w``.
+    """
+    if num_samples < 2:
+        raise ValueError("need at least two samples")
+    if num_features < 1:
+        raise ValueError("num_features must be >= 1")
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    rng = as_generator(seed)
+    direction = rng.normal(size=num_features)
+    direction /= np.linalg.norm(direction)
+    labels = np.where(rng.random(num_samples) < 0.5, 1.0, -1.0)
+    # Ensure both classes appear.
+    labels[0] = 1.0
+    labels[1] = -1.0
+    points = rng.normal(scale=spread, size=(num_samples, num_features))
+    projections = points @ direction
+    # Shift each point along the direction so that y * <w, x> >= margin.
+    deficit = margin - labels * projections
+    shift = np.maximum(deficit, 0.0) + rng.uniform(0.0, spread, size=num_samples)
+    points = points + (labels * shift)[:, None] * direction
+    return ClassificationData(
+        points=points, labels=labels, true_direction=direction, margin=margin
+    )
+
+
+def svm_problem(data: ClassificationData) -> LinearSVM:
+    """The hard-margin linear SVM problem for a classification data set."""
+    return LinearSVM(points=data.points, labels=data.labels)
+
+
+def linear_separability_lp(
+    data: ClassificationData,
+    box_bound: float = DEFAULT_BOX_BOUND,
+) -> LinearProgram:
+    """The linear-separability LP of the paper's introduction.
+
+    Maximise the functional margin ``delta`` subject to
+    ``y_j <u, x_j> >= delta`` and ``-1 <= u_i <= 1``: a ``(d + 1)``-variable
+    linear program (variables ``(u, delta)``) with ``n + 2d`` constraints.
+    The data are separable iff the optimum ``delta`` is positive.
+    """
+    points = np.asarray(data.points, dtype=float)
+    labels = np.asarray(data.labels, dtype=float)
+    num_samples, num_features = points.shape
+    d = num_features + 1
+
+    rows = []
+    rhs = []
+    # y_j <u, x_j> >= delta   <=>   -y_j x_j . u + delta <= 0
+    for j in range(num_samples):
+        row = np.zeros(d)
+        row[:num_features] = -labels[j] * points[j]
+        row[num_features] = 1.0
+        rows.append(row)
+        rhs.append(0.0)
+    # |u_i| <= 1 to normalise the margin.
+    for i in range(num_features):
+        upper = np.zeros(d)
+        upper[i] = 1.0
+        rows.append(upper)
+        rhs.append(1.0)
+        lower = np.zeros(d)
+        lower[i] = -1.0
+        rows.append(lower)
+        rhs.append(1.0)
+
+    objective = np.zeros(d)
+    objective[num_features] = -1.0  # maximise delta == minimise -delta
+    return LinearProgram(
+        c=objective, a=np.asarray(rows), b=np.asarray(rhs), box_bound=box_bound
+    )

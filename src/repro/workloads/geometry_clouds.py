@@ -1,0 +1,79 @@
+"""Point-cloud workloads for the minimum-enclosing-ball (core VM) experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import SeedLike, as_generator
+from ..problems.meb import MinimumEnclosingBall
+
+__all__ = [
+    "uniform_ball_points",
+    "sphere_surface_points",
+    "clustered_points",
+    "meb_problem",
+]
+
+
+def uniform_ball_points(
+    num_points: int,
+    dimension: int,
+    radius: float = 1.0,
+    center: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Points uniformly distributed inside a ball of the given radius."""
+    if num_points < 1 or dimension < 1:
+        raise ValueError("num_points and dimension must be >= 1")
+    rng = as_generator(seed)
+    directions = rng.normal(size=(num_points, dimension))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    radii = radius * rng.random(num_points) ** (1.0 / dimension)
+    points = directions * radii[:, None]
+    if center is not None:
+        points = points + np.asarray(center, dtype=float)
+    return points
+
+
+def sphere_surface_points(
+    num_points: int,
+    dimension: int,
+    radius: float = 1.0,
+    center: np.ndarray | None = None,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Points uniformly distributed on the surface of a sphere.
+
+    The minimum enclosing ball of a dense sample from a sphere is (close to)
+    the sphere itself, which makes the true radius easy to verify in tests.
+    """
+    rng = as_generator(seed)
+    directions = rng.normal(size=(num_points, dimension))
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    points = radius * directions
+    if center is not None:
+        points = points + np.asarray(center, dtype=float)
+    return points
+
+
+def clustered_points(
+    num_points: int,
+    dimension: int,
+    num_clusters: int = 3,
+    cluster_spread: float = 0.2,
+    domain_scale: float = 5.0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """A mixture of Gaussian clusters (a realistic core-VM workload)."""
+    if num_clusters < 1:
+        raise ValueError("num_clusters must be >= 1")
+    rng = as_generator(seed)
+    centers = rng.uniform(-domain_scale, domain_scale, size=(num_clusters, dimension))
+    assignment = rng.integers(0, num_clusters, size=num_points)
+    noise = rng.normal(scale=cluster_spread, size=(num_points, dimension))
+    return centers[assignment] + noise
+
+
+def meb_problem(points: np.ndarray) -> MinimumEnclosingBall:
+    """The minimum-enclosing-ball LP-type problem over a point cloud."""
+    return MinimumEnclosingBall(points=points)

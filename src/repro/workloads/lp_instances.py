@@ -1,0 +1,171 @@
+"""Random linear-programming workloads.
+
+The paper motivates low-dimensional LPs that are heavily over-constrained
+(``n >> d``).  The generators here produce such instances with a known
+structure so that tests can verify optimality independently:
+
+* :func:`random_feasible_lp` — constraints tangent to random points around a
+  known interior point; always feasible and bounded inside the box.
+* :func:`random_polytope_lp` — halfspaces tangent to the unit sphere; the
+  feasible region contains the origin and is bounded.
+* :func:`degenerate_lp` — many constraints through one optimal vertex, to
+  exercise basis extraction under degeneracy.
+* :func:`infeasible_lp` — a deliberately contradictory instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import SeedLike, as_generator
+from ..problems.linear_program import DEFAULT_BOX_BOUND, LinearProgram
+
+__all__ = [
+    "LPInstance",
+    "random_feasible_lp",
+    "random_polytope_lp",
+    "degenerate_lp",
+    "infeasible_lp",
+]
+
+
+@dataclass(frozen=True)
+class LPInstance:
+    """A generated LP together with generation metadata."""
+
+    problem: LinearProgram
+    interior_point: np.ndarray | None
+    metadata: dict
+
+
+def _random_unit_vectors(count: int, dimension: int, rng: np.random.Generator) -> np.ndarray:
+    vectors = rng.normal(size=(count, dimension))
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return vectors / norms
+
+
+def random_feasible_lp(
+    num_constraints: int,
+    dimension: int,
+    seed: SeedLike = None,
+    slack_scale: float = 1.0,
+    box_bound: float = DEFAULT_BOX_BOUND,
+    solver: str = "highs",
+    lexicographic: bool = True,
+) -> LPInstance:
+    """A feasible, bounded LP with a known interior point.
+
+    Constraints are halfspaces ``a_j . x <= a_j . x0 + s_j`` with random unit
+    normals ``a_j``, a random interior point ``x0`` and positive slacks
+    ``s_j``, so ``x0`` is strictly feasible.  The objective is a random unit
+    vector.
+    """
+    if num_constraints < 1:
+        raise ValueError("num_constraints must be >= 1")
+    if dimension < 1:
+        raise ValueError("dimension must be >= 1")
+    rng = as_generator(seed)
+    interior = rng.uniform(-1.0, 1.0, size=dimension)
+    normals = _random_unit_vectors(num_constraints, dimension, rng)
+    slack = rng.uniform(0.1, 1.0, size=num_constraints) * slack_scale
+    rhs = normals @ interior + slack
+    objective = _random_unit_vectors(1, dimension, rng)[0]
+    problem = LinearProgram(
+        c=objective,
+        a=normals,
+        b=rhs,
+        box_bound=box_bound,
+        solver=solver,
+        lexicographic=lexicographic,
+    )
+    return LPInstance(
+        problem=problem,
+        interior_point=interior,
+        metadata={
+            "kind": "random_feasible",
+            "n": num_constraints,
+            "d": dimension,
+            "slack_scale": slack_scale,
+        },
+    )
+
+
+def random_polytope_lp(
+    num_constraints: int,
+    dimension: int,
+    seed: SeedLike = None,
+    box_bound: float = DEFAULT_BOX_BOUND,
+    solver: str = "highs",
+    lexicographic: bool = True,
+) -> LPInstance:
+    """Halfspaces tangent to the unit sphere: ``a_j . x <= 1`` with unit ``a_j``.
+
+    The feasible region contains the unit ball, is bounded for
+    ``num_constraints`` in general position when ``n`` is large, and is
+    always bounded inside the box.  With many constraints the optimum of a
+    random linear objective lies near the sphere, which makes the violation
+    structure non-trivial.
+    """
+    rng = as_generator(seed)
+    normals = _random_unit_vectors(num_constraints, dimension, rng)
+    rhs = np.ones(num_constraints)
+    objective = _random_unit_vectors(1, dimension, rng)[0]
+    problem = LinearProgram(
+        c=objective,
+        a=normals,
+        b=rhs,
+        box_bound=box_bound,
+        solver=solver,
+        lexicographic=lexicographic,
+    )
+    return LPInstance(
+        problem=problem,
+        interior_point=np.zeros(dimension),
+        metadata={"kind": "random_polytope", "n": num_constraints, "d": dimension},
+    )
+
+
+def degenerate_lp(
+    num_constraints: int,
+    dimension: int,
+    seed: SeedLike = None,
+    box_bound: float = DEFAULT_BOX_BOUND,
+) -> LPInstance:
+    """An LP whose optimum is a single vertex shared by many constraints.
+
+    All constraints are tangent to the point ``v = (1, 1, ..., 1)`` from the
+    objective's side, so the optimum (for the objective ``-sum x_i``) is
+    ``v`` and every constraint is tight there — maximal degeneracy for basis
+    extraction.
+    """
+    rng = as_generator(seed)
+    vertex = np.ones(dimension)
+    # Normals pointing "outwards" with positive coordinates so that
+    # minimising -sum(x) pushes the optimum into the shared vertex.
+    normals = np.abs(rng.normal(size=(num_constraints, dimension))) + 0.1
+    normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+    rhs = normals @ vertex
+    objective = -np.ones(dimension)
+    problem = LinearProgram(c=objective, a=normals, b=rhs, box_bound=box_bound)
+    return LPInstance(
+        problem=problem,
+        interior_point=np.zeros(dimension),
+        metadata={"kind": "degenerate", "n": num_constraints, "d": dimension},
+    )
+
+
+def infeasible_lp(dimension: int = 2, box_bound: float = DEFAULT_BOX_BOUND) -> LPInstance:
+    """A small infeasible instance (``x_0 <= -1`` and ``-x_0 <= -1``)."""
+    a = np.zeros((2, dimension))
+    a[0, 0] = 1.0
+    a[1, 0] = -1.0
+    b = np.array([-1.0, -1.0])
+    problem = LinearProgram(c=np.ones(dimension), a=a, b=b, box_bound=box_bound)
+    return LPInstance(
+        problem=problem,
+        interior_point=None,
+        metadata={"kind": "infeasible", "n": 2, "d": dimension},
+    )

@@ -1,0 +1,111 @@
+"""Regression workloads expressed as low-dimensional linear programs.
+
+The paper's introduction motivates LP-type problems with machine-learning
+tasks such as robust regression and Chebyshev approximation.  Two of those
+are naturally *low-dimensional* linear programs (the number of variables is
+the number of model coefficients plus one, while the number of constraints is
+proportional to the number of samples):
+
+* **Chebyshev (L-infinity) regression** — minimise the maximum absolute
+  residual of a linear model;
+* **linear separability with maximum margin in the L-infinity sense** (see
+  :mod:`repro.workloads.classification`).
+
+Least-absolute-error (L1) regression is also mentioned in the paper; its LP
+formulation needs one auxiliary variable per sample and is therefore *not*
+low-dimensional.  We include a generator for the data (useful for examples)
+and expose the L-infinity variant as the LP-type workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.rng import SeedLike, as_generator
+from ..problems.linear_program import DEFAULT_BOX_BOUND, LinearProgram
+
+__all__ = ["RegressionData", "make_regression_data", "chebyshev_regression_lp"]
+
+
+@dataclass(frozen=True)
+class RegressionData:
+    """A linear-regression data set ``y ~ X w`` with known ground truth."""
+
+    features: np.ndarray
+    targets: np.ndarray
+    true_weights: np.ndarray
+    noise_scale: float
+
+
+def make_regression_data(
+    num_samples: int,
+    num_features: int,
+    seed: SeedLike = None,
+    noise_scale: float = 0.1,
+    outlier_fraction: float = 0.0,
+    outlier_scale: float = 10.0,
+) -> RegressionData:
+    """Random linear data with bounded (uniform) noise and optional outliers."""
+    if num_samples < 1 or num_features < 1:
+        raise ValueError("num_samples and num_features must be >= 1")
+    rng = as_generator(seed)
+    features = rng.normal(size=(num_samples, num_features))
+    true_weights = rng.uniform(-2.0, 2.0, size=num_features)
+    noise = rng.uniform(-noise_scale, noise_scale, size=num_samples)
+    targets = features @ true_weights + noise
+    if outlier_fraction > 0.0:
+        count = int(np.ceil(outlier_fraction * num_samples))
+        idx = rng.choice(num_samples, size=count, replace=False)
+        targets[idx] += rng.choice([-1.0, 1.0], size=count) * outlier_scale
+    return RegressionData(
+        features=features,
+        targets=targets,
+        true_weights=true_weights,
+        noise_scale=noise_scale,
+    )
+
+
+def chebyshev_regression_lp(
+    data: RegressionData,
+    box_bound: float = DEFAULT_BOX_BOUND,
+    solver: str = "highs",
+    lexicographic: bool = True,
+) -> LinearProgram:
+    """Chebyshev (minimax) regression as a ``(p + 1)``-dimensional LP.
+
+    Variables are ``(w, e)``: the model weights and the maximum absolute
+    residual.  For every sample ``(x_j, y_j)`` there are two constraints::
+
+        x_j . w - e <= y_j        (residual  <= e)
+        -x_j . w - e <= -y_j      (-residual <= e)
+
+    and the objective minimises ``e``.  With ``n`` samples this yields ``2n``
+    constraints over ``p + 1`` variables: exactly the over-constrained,
+    low-dimensional regime of the paper.
+    """
+    features = np.asarray(data.features, dtype=float)
+    targets = np.asarray(data.targets, dtype=float)
+    num_samples, num_features = features.shape
+    d = num_features + 1
+
+    a = np.zeros((2 * num_samples, d))
+    b = np.zeros(2 * num_samples)
+    a[:num_samples, :num_features] = features
+    a[:num_samples, num_features] = -1.0
+    b[:num_samples] = targets
+    a[num_samples:, :num_features] = -features
+    a[num_samples:, num_features] = -1.0
+    b[num_samples:] = -targets
+
+    objective = np.zeros(d)
+    objective[num_features] = 1.0
+    return LinearProgram(
+        c=objective,
+        a=a,
+        b=b,
+        box_bound=box_bound,
+        solver=solver,
+        lexicographic=lexicographic,
+    )

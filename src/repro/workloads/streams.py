@@ -1,0 +1,66 @@
+"""Stream-order utilities.
+
+The streaming model presents constraints in an arbitrary (possibly
+adversarial) order; the coordinator and MPC models partition constraints
+arbitrarily across machines.  These helpers produce the orderings and
+partitions used by tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import SeedLike, as_generator
+
+__all__ = [
+    "identity_order",
+    "random_order",
+    "sorted_by_tightness_order",
+    "blocked_order",
+]
+
+
+def identity_order(num_items: int) -> np.ndarray:
+    """The natural order ``0, 1, ..., n-1``."""
+    if num_items < 0:
+        raise ValueError("num_items must be non-negative")
+    return np.arange(num_items, dtype=int)
+
+
+def random_order(num_items: int, seed: SeedLike = None) -> np.ndarray:
+    """A uniformly random permutation of the items."""
+    rng = as_generator(seed)
+    return rng.permutation(num_items)
+
+
+def sorted_by_tightness_order(
+    a: np.ndarray, b: np.ndarray, point: np.ndarray, descending: bool = True
+) -> np.ndarray:
+    """Order constraints by slack ``b_j - a_j . point`` at a reference point.
+
+    With ``descending=True`` the slackest constraints arrive first and the
+    binding ones last — an adversarial-ish order for incremental algorithms,
+    used to show that the meta-algorithm's pass count is order-insensitive.
+    """
+    slack = np.asarray(b, dtype=float) - np.asarray(a, dtype=float) @ np.asarray(
+        point, dtype=float
+    )
+    order = np.argsort(slack)
+    return order[::-1] if descending else order
+
+
+def blocked_order(num_items: int, num_blocks: int, seed: SeedLike = None) -> np.ndarray:
+    """Random order that keeps contiguous blocks together.
+
+    Mimics data arriving in shuffled chunks (e.g. one file per site being
+    replayed into a stream).
+    """
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be >= 1")
+    rng = as_generator(seed)
+    boundaries = np.linspace(0, num_items, num_blocks + 1, dtype=int)
+    blocks = [np.arange(boundaries[i], boundaries[i + 1]) for i in range(num_blocks)]
+    rng.shuffle(blocks)
+    if not blocks:
+        return np.arange(num_items, dtype=int)
+    return np.concatenate(blocks).astype(int)

@@ -1,0 +1,118 @@
+"""Unit tests for the cost-accounting primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import BitCostModel, CostMeter, RoundLedger
+
+
+class TestBitCostModel:
+    def test_default_coefficient_bits(self):
+        model = BitCostModel()
+        assert model.coefficients(3) == 3 * 64
+
+    def test_custom_coefficient_bits(self):
+        model = BitCostModel(bits_per_coefficient=32)
+        assert model.coefficients(4) == 128
+
+    def test_counters(self):
+        model = BitCostModel(bits_per_counter=16)
+        assert model.counters(5) == 80
+
+    def test_array_counts_elements(self):
+        model = BitCostModel()
+        assert model.array(np.zeros((3, 4))) == 12 * 64
+
+    def test_negative_count_rejected(self):
+        model = BitCostModel()
+        with pytest.raises(ValueError):
+            model.coefficients(-1)
+        with pytest.raises(ValueError):
+            model.counters(-2)
+
+    def test_zero_costs_nothing(self):
+        model = BitCostModel()
+        assert model.coefficients(0) == 0
+        assert model.counters(0) == 0
+
+
+class TestCostMeter:
+    def test_add_accumulates_total(self):
+        meter = CostMeter("bits")
+        meter.add(10)
+        meter.add(5)
+        assert meter.total == 15
+
+    def test_peak_tracks_maximum_level(self):
+        meter = CostMeter("items")
+        meter.add(10)
+        meter.release(4)
+        meter.add(2)
+        assert meter.peak == 10
+        assert meter.current == 8
+
+    def test_set_level_updates_peak(self):
+        meter = CostMeter("items")
+        meter.set_level(7)
+        meter.set_level(3)
+        assert meter.peak == 7
+        assert meter.current == 3
+
+    def test_release_never_goes_negative(self):
+        meter = CostMeter("items")
+        meter.add(2)
+        meter.release(10)
+        assert meter.current == 0
+
+    def test_negative_amount_rejected(self):
+        meter = CostMeter("x")
+        with pytest.raises(ValueError):
+            meter.add(-1)
+        with pytest.raises(ValueError):
+            meter.release(-1)
+        with pytest.raises(ValueError):
+            meter.set_level(-1)
+
+    def test_snapshot_contents(self):
+        meter = CostMeter("bits")
+        meter.add(42)
+        snap = meter.snapshot()
+        assert snap == {"name": "bits", "total": 42, "peak": 42}
+
+
+class TestRoundLedger:
+    def test_record_and_count_rounds(self):
+        ledger = RoundLedger()
+        ledger.record(bits=10)
+        ledger.record(bits=20, load=5)
+        assert ledger.num_rounds == 2
+
+    def test_total_sums_key(self):
+        ledger = RoundLedger()
+        ledger.record(bits=10)
+        ledger.record(bits=20)
+        assert ledger.total("bits") == 30
+
+    def test_total_missing_key_is_zero(self):
+        ledger = RoundLedger()
+        ledger.record(bits=10)
+        assert ledger.total("load") == 0
+
+    def test_maximum(self):
+        ledger = RoundLedger()
+        ledger.record(load=3)
+        ledger.record(load=9)
+        ledger.record(load=1)
+        assert ledger.maximum("load") == 9
+
+    def test_maximum_empty_is_zero(self):
+        assert RoundLedger().maximum("load") == 0
+
+    def test_as_table_is_copy(self):
+        ledger = RoundLedger()
+        ledger.record(bits=10)
+        table = ledger.as_table()
+        table[0]["bits"] = 999
+        assert ledger.total("bits") == 10

@@ -1,0 +1,139 @@
+"""Unit and property-based tests for the eps-net machinery (Lemma 2.2)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.epsnet import (
+    EpsNetSpec,
+    algorithm_epsilon,
+    epsnet_sample_size,
+    is_eps_net,
+)
+
+
+class TestSampleSizeFormula:
+    def test_matches_closed_form(self):
+        eps, lam, delta = 0.1, 3.0, 1.0 / 3.0
+        expected = max(
+            (8 * lam / eps) * math.log(8 * lam / eps), (4 / eps) * math.log(2 / delta)
+        )
+        assert epsnet_sample_size(eps, lam, delta) == int(math.ceil(expected))
+
+    def test_monotone_in_epsilon(self):
+        sizes = [epsnet_sample_size(eps, 3, 0.3) for eps in (0.5, 0.1, 0.01)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_monotone_in_vc_dimension(self):
+        assert epsnet_sample_size(0.05, 2, 0.3) < epsnet_sample_size(0.05, 10, 0.3)
+
+    def test_smaller_failure_probability_needs_more_samples(self):
+        # The delta term only dominates for small VC dimension / tiny delta.
+        assert epsnet_sample_size(0.1, 1, 1e-12) > epsnet_sample_size(0.1, 1, 0.5)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_epsilon_rejected(self, eps):
+        with pytest.raises(ValueError):
+            epsnet_sample_size(eps, 3, 0.3)
+
+    def test_invalid_vc_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            epsnet_sample_size(0.1, 0.5, 0.3)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0])
+    def test_invalid_delta_rejected(self, delta):
+        with pytest.raises(ValueError):
+            epsnet_sample_size(0.1, 3, delta)
+
+
+class TestAlgorithmEpsilon:
+    def test_formula(self):
+        assert algorithm_epsilon(10000, 3, 2) == pytest.approx(1.0 / (10 * 3 * 100.0))
+
+    def test_r_one_means_epsilon_over_n(self):
+        assert algorithm_epsilon(1000, 2, 1) == pytest.approx(1.0 / (10 * 2 * 1000))
+
+    def test_larger_r_gives_larger_epsilon(self):
+        assert algorithm_epsilon(10000, 3, 4) > algorithm_epsilon(10000, 3, 2)
+
+    @pytest.mark.parametrize("bad", [(0, 3, 2), (100, 0, 2), (100, 3, 0)])
+    def test_invalid_arguments(self, bad):
+        with pytest.raises(ValueError):
+            algorithm_epsilon(*bad)
+
+
+class TestEpsNetSpec:
+    def test_for_algorithm_caps_at_n(self):
+        spec = EpsNetSpec.for_algorithm(
+            num_constraints=100, combinatorial_dimension=3, vc_dimension=3, r=2
+        )
+        assert spec.sample_size() <= 100
+
+    def test_sample_scale_shrinks_sample(self):
+        base = EpsNetSpec(epsilon=0.01, vc_dimension=3)
+        scaled = EpsNetSpec(epsilon=0.01, vc_dimension=3, sample_scale=0.1)
+        assert scaled.sample_size() < base.sample_size()
+
+    def test_sample_size_at_least_one(self):
+        spec = EpsNetSpec(epsilon=0.9, vc_dimension=1, sample_scale=1e-9, max_sample_size=10)
+        assert spec.sample_size() >= 1
+
+
+class TestIsEpsNet:
+    def test_light_point_vacuously_satisfied(self):
+        # The excluding constraints carry 1% of the weight; nothing is required.
+        assert is_eps_net([5], [1.0] * 100, epsilon=0.5, excludes=[0])
+
+    def test_heavy_point_requires_witness(self):
+        weights = [1.0] * 10
+        excludes = [0, 1, 2, 3, 4]  # half the weight
+        assert is_eps_net([3], weights, epsilon=0.2, excludes=excludes)
+        assert not is_eps_net([7], weights, epsilon=0.2, excludes=excludes)
+
+    def test_predicate_form(self):
+        weights = [1.0] * 10
+        assert is_eps_net([1], weights, epsilon=0.2, excludes=lambda i: i < 5)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            is_eps_net([0], [1.0], epsilon=0.0, excludes=[0])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            is_eps_net([0], [0.0, 0.0], epsilon=0.5, excludes=[0])
+
+
+class TestEpsNetPropertyEmpirically:
+    """Sampling m(eps, lambda, delta) points from intervals yields an eps-net.
+
+    The set system is the family of sub-intervals of [0, 1] over a ground set
+    of weighted points (VC dimension 2): for heavy excluded ranges, the
+    sample must hit them.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), epsilon=st.sampled_from([0.1, 0.2, 0.3]))
+    def test_random_interval_systems(self, seed, epsilon):
+        rng = np.random.default_rng(seed)
+        n = 300
+        weights = rng.uniform(0.5, 2.0, size=n)
+        positions = rng.random(n)
+        m = epsnet_sample_size(epsilon, 2.0, 0.05)
+        m = min(m, n)
+        probs = weights / weights.sum()
+        sample = rng.choice(n, size=m, replace=True, p=probs)
+        # Pick a few random "query intervals"; is_eps_net must hold for each
+        # heavy one (with high probability; failure probability is 5% per net
+        # and we only assert on a majority to keep the test deterministic-ish).
+        failures = 0
+        for _ in range(10):
+            lo, hi = np.sort(rng.random(2))
+            excluded = [i for i in range(n) if lo <= positions[i] <= hi]
+            if not is_eps_net(sample, weights, epsilon, excluded):
+                failures += 1
+        assert failures <= 2

@@ -1,0 +1,120 @@
+"""Tests for the geometric gadgets of Section 5.2 (LineSegment, StepCurve, operators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lower_bounds.gadgets import (
+    differences,
+    line_segment,
+    origin_shift,
+    slope_shift,
+    step_curve,
+)
+
+
+class TestLineSegment:
+    def test_passes_through_endpoints(self):
+        values = line_segment((1.0, 2.0), (5.0, 10.0), 1, 5)
+        assert values[0] == pytest.approx(2.0)
+        assert values[-1] == pytest.approx(10.0)
+
+    def test_fact_5_5_constant_slope(self):
+        p1, p2 = (2.0, 3.0), (7.0, 13.0)
+        values = line_segment(p1, p2, 0, 10)
+        slope = (p2[1] - p1[1]) / (p2[0] - p1[0])
+        assert np.allclose(np.diff(values), slope)
+
+    def test_fact_5_5_closed_form(self):
+        p1, p2 = (2.0, 3.0), (7.0, 13.0)
+        values = line_segment(p1, p2, 0, 10)
+        slope = (p2[1] - p1[1]) / (p2[0] - p1[0])
+        for offset, i in enumerate(range(0, 11)):
+            assert values[offset] == pytest.approx(slope * (i - p1[0]) + p1[1])
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            line_segment((1.0, 0.0), (1.0, 5.0), 0, 3)  # vertical line
+        with pytest.raises(ValueError):
+            line_segment((0.0, 0.0), (1.0, 1.0), 5, 3)  # a > b
+
+
+class TestStepCurve:
+    def test_definition(self):
+        values = step_curve([1, 0, 1], alpha=2.0)
+        # z_0 = 0; z_i = z_{i-1} + alpha + i + x_i.
+        assert values[0] == 0.0
+        assert values[1] == pytest.approx(0 + 2 + 1 + 1)
+        assert values[2] == pytest.approx(values[1] + 2 + 2 + 0)
+        assert values[3] == pytest.approx(values[2] + 2 + 3 + 1)
+
+    def test_length(self):
+        assert step_curve([0] * 7, alpha=0.0).size == 8
+
+    def test_increasing_and_convex(self):
+        values = step_curve([1, 1, 0, 0, 1, 0], alpha=0.0)
+        diffs = np.diff(values)
+        assert np.all(diffs > 0)
+        assert np.all(np.diff(diffs) >= 0)
+
+    def test_bits_recoverable_from_increments(self):
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        values = step_curve(bits, alpha=3.0)
+        recovered = [int(values[i + 1] - values[i] - 3.0 - (i + 1)) for i in range(len(bits))]
+        assert recovered == bits
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            step_curve([0, 2], alpha=0.0)
+
+    def test_empty_bits(self):
+        assert step_curve([], alpha=1.0).tolist() == [0.0]
+
+
+class TestOperators:
+    def test_slope_shift_changes_increments_uniformly(self):
+        values = np.array([0.0, 1.0, 3.0, 6.0])
+        shifted = slope_shift(values, 2.0)
+        assert np.allclose(np.diff(shifted), np.diff(values) + 2.0)
+        assert shifted[0] == values[0]
+
+    def test_slope_shift_preserves_pairwise_difference(self):
+        """Applied to both curves, the operator preserves A - B (the crossing)."""
+        alice = np.array([0.0, 2.0, 5.0, 9.0])
+        bob = np.array([8.0, 6.0, 3.0, -1.0])
+        shifted_alice = slope_shift(alice, 3.0)
+        shifted_bob = slope_shift(bob, 3.0)
+        assert np.allclose(shifted_alice - shifted_bob, alice - bob)
+
+    def test_origin_shift_translates(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(origin_shift(values, 5.0), [6.0, 7.0, 8.0])
+
+    def test_empty_sequences(self):
+        assert slope_shift(np.zeros(0), 1.0).size == 0
+        assert origin_shift(np.zeros(0), 1.0).size == 0
+
+
+class TestDifferences:
+    def test_basic(self):
+        assert np.allclose(differences([1.0, 3.0, 6.0]), [2.0, 3.0])
+
+    def test_short_sequences(self):
+        assert differences([5.0]).size == 0
+        assert differences([]).size == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bits=st.lists(st.integers(0, 1), min_size=1, max_size=30),
+    alpha=st.floats(min_value=0.0, max_value=100.0),
+)
+def test_step_curve_always_convex_increasing(bits, alpha):
+    """Property: every step curve is increasing and convex for alpha >= 0."""
+    values = step_curve(bits, alpha=alpha)
+    diffs = np.diff(values)
+    assert np.all(diffs >= 1.0 - 1e-9)
+    assert np.all(np.diff(diffs) >= -1e-9)

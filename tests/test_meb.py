@@ -1,0 +1,133 @@
+"""Tests for the minimum-enclosing-ball / core-VM problem (Section 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InvalidInstanceError
+from repro.problems.meb import Ball, MEBValue, MinimumEnclosingBall, badoiu_clarkson_meb
+from repro.workloads import clustered_points, sphere_surface_points, uniform_ball_points
+
+
+class TestBall:
+    def test_contains(self):
+        ball = Ball(center=[0.0, 0.0], radius=1.0)
+        assert ball.contains(np.array([0.5, 0.5]))
+        assert not ball.contains(np.array([1.5, 0.0]))
+
+    def test_contains_tolerance(self):
+        ball = Ball(center=[0.0], radius=1.0)
+        assert ball.contains(np.array([1.0 + 1e-9]))
+
+
+class TestMEBValue:
+    def test_ordering(self):
+        assert MEBValue(1.0) < MEBValue(2.0)
+        assert MEBValue(1.0) == MEBValue(1.0 + 1e-9)
+        assert not MEBValue(2.0) < MEBValue(1.0)
+
+
+class TestMinimumEnclosingBall:
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            MinimumEnclosingBall(points=np.zeros((0, 2)))
+        with pytest.raises(InvalidInstanceError):
+            MinimumEnclosingBall(points=np.zeros(5))
+
+    def test_single_point(self):
+        meb = MinimumEnclosingBall(points=[[1.0, 2.0], [1.0, 2.0], [3.0, 4.0]])
+        result = meb.solve_subset([0])
+        assert result.value.radius == pytest.approx(0.0)
+        assert np.allclose(result.witness.center, [1.0, 2.0])
+
+    def test_two_points_midpoint(self):
+        meb = MinimumEnclosingBall(points=[[0.0, 0.0], [2.0, 0.0]])
+        result = meb.solve()
+        assert np.allclose(result.witness.center, [1.0, 0.0], atol=1e-4)
+        assert result.value.radius == pytest.approx(1.0, abs=1e-4)
+
+    def test_square_corners(self):
+        pts = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]
+        result = MinimumEnclosingBall(points=pts).solve()
+        assert np.allclose(result.witness.center, [0.5, 0.5], atol=1e-4)
+        assert result.value.radius == pytest.approx(np.sqrt(0.5), abs=1e-4)
+
+    @pytest.mark.parametrize("dimension", [2, 3, 4])
+    def test_sphere_surface_radius_recovered(self, dimension):
+        pts = sphere_surface_points(300, dimension, radius=2.5, center=np.ones(dimension), seed=1)
+        result = MinimumEnclosingBall(points=pts).solve()
+        assert result.value.radius == pytest.approx(2.5, rel=0.02)
+        assert np.allclose(result.witness.center, np.ones(dimension), atol=0.1)
+
+    def test_all_points_contained_at_optimum(self):
+        pts = clustered_points(200, 3, seed=2)
+        meb = MinimumEnclosingBall(points=pts)
+        result = meb.solve()
+        assert meb.violating_indices(result.witness, meb.all_indices()).size == 0
+
+    def test_optimum_is_minimal_vs_brute_force_2d(self):
+        # Brute force over all pairs and triples for a small 2-d instance.
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(12, 2))
+        meb = MinimumEnclosingBall(points=pts)
+        result = meb.solve()
+
+        def enclosing_radius(center):
+            return float(np.max(np.linalg.norm(pts - center, axis=1)))
+
+        best = min(
+            enclosing_radius((pts[i] + pts[j]) / 2.0)
+            for i in range(12)
+            for j in range(i, 12)
+        )
+        # The optimal radius is never larger than the best pair-midpoint ball
+        # and is within a small tolerance of it from below when the optimal
+        # basis has two points; in all cases it is at most `best`.
+        assert result.value.radius <= best + 1e-6
+
+    def test_violation_test_matches_distances(self):
+        pts = uniform_ball_points(100, 3, radius=2.0, seed=4)
+        meb = MinimumEnclosingBall(points=pts)
+        ball = Ball(center=np.zeros(3), radius=1.0)
+        expected = {i for i in range(100) if np.linalg.norm(pts[i]) > 1.0 + 1e-5}
+        got = set(meb.violating_indices(ball, range(100)).tolist())
+        assert got == expected
+
+    def test_monotonicity(self):
+        pts = clustered_points(100, 2, seed=5)
+        meb = MinimumEnclosingBall(points=pts)
+        small = meb.solve_subset(range(30)).value
+        large = meb.solve().value
+        assert not large < small
+
+    def test_basis_size_bounded(self):
+        pts = uniform_ball_points(200, 2, seed=6)
+        result = MinimumEnclosingBall(points=pts).solve()
+        assert 1 <= len(result.indices) <= 3
+
+    def test_empty_subset(self):
+        meb = MinimumEnclosingBall(points=[[1.0, 1.0]])
+        result = meb.solve_subset([])
+        assert result.value.radius == pytest.approx(0.0)
+
+
+class TestBadoiuClarkson:
+    def test_matches_qp_radius(self):
+        pts = clustered_points(300, 3, seed=7)
+        qp_result = MinimumEnclosingBall(points=pts).solve()
+        approx = badoiu_clarkson_meb(pts, epsilon=0.02, rng=0)
+        assert approx.radius <= qp_result.value.radius * 1.05
+        assert approx.radius >= qp_result.value.radius * 0.999
+
+    def test_all_points_contained(self):
+        pts = uniform_ball_points(200, 2, seed=8)
+        ball = badoiu_clarkson_meb(pts, epsilon=0.05, rng=1)
+        distances = np.linalg.norm(pts - ball.center, axis=1)
+        assert np.all(distances <= ball.radius + 1e-9)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            badoiu_clarkson_meb(np.zeros((5, 2)), epsilon=0.0)
+        with pytest.raises(InvalidInstanceError):
+            badoiu_clarkson_meb(np.zeros((0, 2)))

@@ -1,0 +1,215 @@
+"""Tests for the computation-model substrates: streaming, coordinator, MPC, partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import CommunicationError
+from repro.models.coordinator import CoordinatorNetwork, Message
+from repro.models.mpc import MPCCluster
+from repro.models.partition import partition_indices
+from repro.models.streaming import MultiPassStream, StreamingMemory
+
+
+class TestMultiPassStream:
+    def test_scan_yields_all_items_in_order(self):
+        stream = MultiPassStream(5)
+        assert list(stream.scan()) == [0, 1, 2, 3, 4]
+
+    def test_custom_order(self):
+        stream = MultiPassStream(4, order=[3, 1, 0, 2])
+        assert list(stream.scan()) == [3, 1, 0, 2]
+
+    def test_pass_counter(self):
+        stream = MultiPassStream(3)
+        assert stream.passes == 0
+        list(stream.scan())
+        list(stream.scan())
+        assert stream.passes == 2
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            MultiPassStream(3, order=[0, 1])
+        with pytest.raises(ValueError):
+            MultiPassStream(3, order=[0, 1, 1])
+        with pytest.raises(ValueError):
+            MultiPassStream(3, order=[0, 1, 5])
+
+    def test_empty_stream(self):
+        stream = MultiPassStream(0)
+        assert list(stream.scan()) == []
+
+    def test_order_returns_copy(self):
+        stream = MultiPassStream(3)
+        order = stream.order()
+        order[0] = 99
+        assert list(stream.scan()) == [0, 1, 2]
+
+
+class TestStreamingMemory:
+    def test_peak_tracking(self):
+        memory = StreamingMemory()
+        memory.set_usage(items=10, bits=640)
+        memory.set_usage(items=4, bits=256)
+        assert memory.peak_items == 10
+        assert memory.peak_bits == 640
+
+
+class TestCoordinatorNetwork:
+    @staticmethod
+    def _network(k=3, per_site=4):
+        parts = [np.arange(i * per_site, (i + 1) * per_site) for i in range(k)]
+        return CoordinatorNetwork(parts)
+
+    def test_round_and_bit_accounting(self):
+        network = self._network()
+        network.begin_round()
+        network.coordinator_to_site(0, Message("hello", 100))
+        network.site_to_coordinator(0, Message("reply", 50))
+        network.end_round()
+        assert network.rounds == 1
+        assert network.total_bits == 150
+        assert network.max_message_bits == 100
+        assert network.ledger.total("bits_down") == 100
+        assert network.ledger.total("bits_up") == 50
+
+    def test_broadcast_counts_per_site(self):
+        network = self._network(k=4)
+        network.begin_round()
+        network.broadcast(Message("basis", 64))
+        network.end_round()
+        assert network.total_bits == 4 * 64
+
+    def test_message_outside_round_rejected(self):
+        network = self._network()
+        with pytest.raises(CommunicationError):
+            network.coordinator_to_site(0, Message("x", 1))
+
+    def test_double_begin_rejected(self):
+        network = self._network()
+        network.begin_round()
+        with pytest.raises(CommunicationError):
+            network.begin_round()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(CommunicationError):
+            self._network().end_round()
+
+    def test_unknown_site_rejected(self):
+        network = self._network(k=2)
+        network.begin_round()
+        with pytest.raises(CommunicationError):
+            network.coordinator_to_site(5, Message("x", 1))
+
+    def test_negative_message_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message("x", -1)
+
+    def test_sites_hold_their_indices(self):
+        network = self._network(k=2, per_site=3)
+        assert network.sites[1].num_local == 3
+        assert list(network.sites[1].local_indices) == [3, 4, 5]
+
+
+class TestMPCCluster:
+    @staticmethod
+    def _cluster(k=4, per_machine=3):
+        parts = [np.arange(i * per_machine, (i + 1) * per_machine) for i in range(k)]
+        return MPCCluster(parts)
+
+    def test_load_is_max_sent_or_received(self):
+        cluster = self._cluster(k=3)
+        cluster.begin_round()
+        cluster.send(0, 1, 100)
+        cluster.send(0, 2, 50)
+        cluster.end_round()
+        # Machine 0 sent 150 bits; the heaviest receiver got 100.
+        assert cluster.max_load_bits == 150
+        assert cluster.total_bits == 150
+
+    def test_rounds_counted(self):
+        cluster = self._cluster()
+        for _ in range(3):
+            cluster.begin_round()
+            cluster.send(0, 1, 1)
+            cluster.end_round()
+        assert cluster.rounds == 3
+
+    def test_send_outside_round_rejected(self):
+        cluster = self._cluster()
+        with pytest.raises(CommunicationError):
+            cluster.send(0, 1, 10)
+
+    def test_unknown_machine_rejected(self):
+        cluster = self._cluster(k=2)
+        cluster.begin_round()
+        with pytest.raises(CommunicationError):
+            cluster.send(0, 9, 10)
+
+    def test_broadcast_tree_reaches_everyone_with_bounded_load(self):
+        cluster = self._cluster(k=16, per_machine=1)
+        rounds = cluster.broadcast_tree(root=0, message_bits=10, fanout=4)
+        # 16 machines with fanout 4: 2 rounds suffice.
+        assert rounds == 2
+        assert cluster.rounds == 2
+        # No machine ever sends more than fanout * message_bits per round.
+        assert cluster.max_load_bits <= 4 * 10
+
+    def test_broadcast_tree_single_machine_is_free(self):
+        cluster = MPCCluster([np.arange(3)])
+        assert cluster.broadcast_tree(root=0, message_bits=10, fanout=2) == 0
+        assert cluster.total_bits == 0
+
+    def test_aggregate_tree_combines_values(self):
+        cluster = self._cluster(k=9, per_machine=1)
+        values = [float(i) for i in range(9)]
+        rounds, total = cluster.aggregate_tree(
+            root=0, value_bits=8, fanout=3, values=values, combine=lambda a, b: (a or 0) + (b or 0)
+        )
+        assert total == pytest.approx(sum(values))
+        assert rounds >= 2
+        assert cluster.max_load_bits <= 3 * 8
+
+    def test_aggregate_tree_invalid_fanout(self):
+        cluster = self._cluster()
+        with pytest.raises(ValueError):
+            cluster.aggregate_tree(root=0, value_bits=1, fanout=1)
+        with pytest.raises(ValueError):
+            cluster.broadcast_tree(root=0, message_bits=1, fanout=1)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("method", ["round_robin", "contiguous", "random", "skewed"])
+    def test_partition_is_disjoint_and_complete(self, method):
+        parts = partition_indices(100, 7, method=method, seed=0)
+        assert len(parts) == 7
+        union = np.concatenate(parts)
+        assert sorted(union.tolist()) == list(range(100))
+
+    def test_round_robin_balance(self):
+        parts = partition_indices(100, 4, method="round_robin")
+        assert all(p.size == 25 for p in parts)
+
+    def test_contiguous_blocks(self):
+        parts = partition_indices(10, 2, method="contiguous")
+        assert list(parts[0]) == list(range(5))
+        assert list(parts[1]) == list(range(5, 10))
+
+    def test_skewed_is_imbalanced(self):
+        parts = partition_indices(2000, 8, method="skewed", seed=1, skew=4.0)
+        sizes = sorted(p.size for p in parts)
+        assert sizes[-1] > sizes[0]
+
+    def test_parts_are_sorted(self):
+        for method in ("round_robin", "random", "skewed"):
+            for part in partition_indices(50, 5, method=method, seed=2):
+                assert np.all(np.diff(part) > 0) or part.size <= 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_indices(10, 0)
+        with pytest.raises(ValueError):
+            partition_indices(-1, 2)
+        with pytest.raises(ValueError):
+            partition_indices(10, 2, method="nope")

@@ -1,0 +1,91 @@
+"""Tests for the two-party communication protocols for TCI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.accounting import BitCostModel
+from repro.core.exceptions import ProtocolError
+from repro.lower_bounds.aug_index import aug_index_to_tci, random_aug_index
+from repro.lower_bounds.hard_distribution import sample_hard_instance
+from repro.lower_bounds.protocols import (
+    Transcript,
+    interactive_tci_protocol,
+    one_round_tci_protocol,
+)
+
+
+class TestTranscript:
+    def test_bit_and_message_counting(self):
+        transcript = Transcript()
+        transcript.send("alice", "msg1", 100)
+        transcript.send("alice", "msg2", 50)
+        transcript.send("bob", "reply", 10)
+        assert transcript.total_bits == 160
+        assert transcript.num_messages == 3
+        assert transcript.rounds == 2  # alice block, then bob block
+
+    def test_invalid_sender(self):
+        with pytest.raises(ProtocolError):
+            Transcript().send("carol", "msg", 1)
+
+    def test_negative_bits(self):
+        with pytest.raises(ProtocolError):
+            Transcript().send("alice", "msg", -1)
+
+
+class TestOneRoundProtocol:
+    def test_answer_and_cost(self):
+        hard = sample_hard_instance(branching=6, rounds=2, seed=0)
+        result = one_round_tci_protocol(hard.instance)
+        assert result.answer == hard.answer
+        assert result.total_bits == hard.instance.length * 64
+        assert result.rounds == 1
+
+    def test_custom_cost_model(self):
+        hard = sample_hard_instance(branching=4, rounds=2, seed=1)
+        result = one_round_tci_protocol(hard.instance, cost_model=BitCostModel(bits_per_coefficient=32))
+        assert result.total_bits == hard.instance.length * 32
+
+
+class TestInteractiveProtocol:
+    @pytest.mark.parametrize("rounds", [1, 2, 3, 4])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_correct_on_hard_instances(self, rounds, seed):
+        hard = sample_hard_instance(branching=6, rounds=2, seed=seed)
+        result = interactive_tci_protocol(hard.instance, rounds=rounds)
+        assert result.answer == hard.answer
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_correct_on_aug_index_instances(self, seed):
+        instance = aug_index_to_tci(random_aug_index(40, seed=seed), sigma=3.0)
+        expected = instance.solve()
+        for rounds in (1, 2, 3):
+            assert interactive_tci_protocol(instance, rounds=rounds).answer == expected
+
+    def test_more_rounds_means_less_communication(self):
+        """The r-round protocol communicates ~ r * n^{1/r} values: decreasing in r."""
+        hard = sample_hard_instance(branching=9, rounds=3, seed=2)  # n = 729
+        bits = [
+            interactive_tci_protocol(hard.instance, rounds=r).total_bits for r in (1, 2, 3)
+        ]
+        assert bits[0] > bits[1] > bits[2]
+
+    def test_communication_scales_like_n_to_one_over_r(self):
+        small = sample_hard_instance(branching=5, rounds=2, seed=3)   # n = 25
+        large = sample_hard_instance(branching=15, rounds=2, seed=3)  # n = 225
+        small_bits = interactive_tci_protocol(small.instance, rounds=2).total_bits
+        large_bits = interactive_tci_protocol(large.instance, rounds=2).total_bits
+        # A 9x larger instance should cost roughly 3x (sqrt growth), certainly
+        # far less than 9x.
+        assert large_bits < 6 * small_bits
+
+    def test_rounds_bounded_by_two_r_plus_final_exchange(self):
+        hard = sample_hard_instance(branching=6, rounds=2, seed=4)
+        result = interactive_tci_protocol(hard.instance, rounds=3)
+        assert result.rounds <= 2 * 3 + 2
+
+    def test_invalid_rounds(self):
+        hard = sample_hard_instance(branching=4, rounds=1, seed=5)
+        with pytest.raises(ValueError):
+            interactive_tci_protocol(hard.instance, rounds=0)

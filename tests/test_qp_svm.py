@@ -1,0 +1,136 @@
+"""Tests for the QP backend and the hard-margin linear SVM problem (Section 4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import InfeasibleProblemError, InvalidInstanceError
+from repro.problems.qp import minimize_convex_qp
+from repro.problems.svm import LinearSVM, SVMValue
+from repro.workloads import make_separable_classification, svm_problem
+
+
+class TestMinimizeConvexQP:
+    def test_unconstrained_quadratic(self):
+        solution = minimize_convex_qp(np.eye(2), np.array([-2.0, -4.0]))
+        assert solution.x == pytest.approx([2.0, 4.0], abs=1e-5)
+
+    def test_constrained_projection(self):
+        # min ||x||^2 / 2 s.t. x_0 + x_1 >= 2  -> x = (1, 1).
+        solution = minimize_convex_qp(
+            np.eye(2), np.zeros(2), g_matrix=[[1.0, 1.0]], h_vector=[2.0]
+        )
+        assert solution.x == pytest.approx([1.0, 1.0], abs=1e-5)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            minimize_convex_qp(
+                np.eye(1),
+                np.zeros(1),
+                g_matrix=[[1.0], [-1.0]],
+                h_vector=[1.0, 1.0],  # x >= 1 and -x >= 1: impossible
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            minimize_convex_qp(np.eye(3), np.zeros(2))
+        with pytest.raises(ValueError):
+            minimize_convex_qp(np.eye(2), np.zeros(2), g_matrix=[[1.0, 0.0]], h_vector=[1.0, 2.0])
+
+
+class TestSVMValue:
+    def test_ordering(self):
+        small = SVMValue(squared_norm=1.0)
+        large = SVMValue(squared_norm=2.0)
+        top = SVMValue(squared_norm=float("inf"), infeasible=True)
+        assert small < large < top
+        assert small == SVMValue(squared_norm=1.0 + 1e-9)
+
+    def test_infeasible_equality(self):
+        assert SVMValue(float("inf"), infeasible=True) == SVMValue(float("inf"), infeasible=True)
+
+
+class TestLinearSVM:
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            LinearSVM(points=[[1.0, 2.0]], labels=[0])
+        with pytest.raises(InvalidInstanceError):
+            LinearSVM(points=[[1.0, 2.0], [2.0, 1.0]], labels=[1])
+        with pytest.raises(InvalidInstanceError):
+            LinearSVM(points=np.ones(4), labels=[1, 1, -1, -1])
+
+    def test_two_point_analytic_solution(self):
+        # Points (1, 0) with label +1 and (-1, 0) with label -1: the optimal
+        # hyperplane through the origin is u = (1, 0).
+        svm = LinearSVM(points=[[1.0, 0.0], [-1.0, 0.0]], labels=[1, -1])
+        result = svm.solve()
+        assert result.witness == pytest.approx([1.0, 0.0], abs=1e-4)
+        assert result.value.squared_norm == pytest.approx(1.0, abs=1e-4)
+
+    def test_margin_constraints_satisfied_at_optimum(self):
+        data = make_separable_classification(200, 3, seed=0, margin=0.4)
+        svm = svm_problem(data)
+        result = svm.solve()
+        margins = (svm.points * svm.labels[:, None]) @ result.witness
+        assert np.all(margins >= 1.0 - 1e-4)
+
+    def test_optimum_margin_at_least_planted_margin(self):
+        # The planted direction separates with functional margin >= margin,
+        # so the optimal ||u|| is at most 1/margin and the geometric margin
+        # at least the planted one.
+        data = make_separable_classification(300, 2, seed=1, margin=0.5)
+        svm = svm_problem(data)
+        result = svm.solve()
+        assert svm.margin(result.witness) >= 0.5 - 1e-3
+
+    def test_empty_subset_gives_zero(self):
+        data = make_separable_classification(50, 2, seed=2)
+        svm = svm_problem(data)
+        result = svm.solve_subset([])
+        assert result.value.squared_norm == pytest.approx(0.0)
+        assert np.allclose(result.witness, 0.0)
+
+    def test_monotonicity_of_objective(self):
+        data = make_separable_classification(100, 2, seed=3)
+        svm = svm_problem(data)
+        small = svm.solve_subset(range(20)).value
+        large = svm.solve_subset(range(100)).value
+        assert not large < small
+
+    def test_violation_test_matches_margin(self):
+        data = make_separable_classification(100, 3, seed=4)
+        svm = svm_problem(data)
+        u = np.array([0.2, -0.1, 0.3])
+        expected = {
+            i
+            for i in range(100)
+            if data.labels[i] * float(data.points[i] @ u) < 1.0 - 1e-6
+        }
+        got = set(svm.violating_indices(u, range(100)).tolist())
+        assert got == expected
+
+    def test_optimum_violates_nothing(self):
+        data = make_separable_classification(150, 2, seed=5)
+        svm = svm_problem(data)
+        result = svm.solve()
+        assert svm.violating_indices(result.witness, svm.all_indices()).size == 0
+
+    def test_basis_has_few_support_vectors(self):
+        data = make_separable_classification(200, 2, seed=6)
+        svm = svm_problem(data)
+        result = svm.solve()
+        assert 1 <= len(result.indices) <= svm.combinatorial_dimension
+
+    def test_non_separable_is_infeasible(self):
+        # Identical point with opposite labels cannot be separated.
+        svm = LinearSVM(points=[[1.0, 1.0], [1.0, 1.0]], labels=[1, -1])
+        result = svm.solve()
+        assert result.value.infeasible
+
+    def test_classify(self):
+        data = make_separable_classification(100, 2, seed=7, margin=0.5)
+        svm = svm_problem(data)
+        result = svm.solve()
+        predictions = svm.classify(result.witness, data.points)
+        assert np.all(predictions == data.labels)

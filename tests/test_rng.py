@@ -1,0 +1,57 @@
+"""Unit tests for the randomness helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rng import as_generator, derive_seed, spawn
+
+
+class TestAsGenerator:
+    def test_integer_seed_is_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(5), as_generator(2).random(5))
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(as_generator(0), 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_and_reproducible(self):
+        first = [g.random(3) for g in spawn(as_generator(7), 3)]
+        second = [g.random(3) for g in spawn(as_generator(7), 3)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+        assert not np.allclose(first[0], first[1])
+
+    def test_zero_children(self):
+        assert spawn(as_generator(0), 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(as_generator(0), -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic_given_same_generator_state(self):
+        assert derive_seed(5, salt=1) == derive_seed(5, salt=1)
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(5, salt=1) != derive_seed(5, salt=2)
+
+    def test_in_range(self):
+        seed = derive_seed(123, salt=9)
+        assert 0 <= seed < 2**63 - 1

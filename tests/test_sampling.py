@@ -1,0 +1,204 @@
+"""Unit, statistical, and property-based tests for the weighted-sampling primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    ExponentialKeyReservoir,
+    WeightedReservoirSampler,
+    iter_chunks,
+    multinomial_split,
+    normalise_weights,
+    stream_weighted_sample,
+    weighted_sample_with_replacement,
+    weighted_sample_without_replacement,
+)
+
+
+class TestNormaliseWeights:
+    def test_sums_to_one(self):
+        probs = normalise_weights([1.0, 3.0, 6.0])
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[2] == pytest.approx(0.6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalise_weights([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            normalise_weights([0.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalise_weights([])
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            normalise_weights(np.ones((2, 2)))
+
+
+class TestWithReplacement:
+    def test_size_and_range(self):
+        idx = weighted_sample_with_replacement([1.0] * 10, 50, rng=0)
+        assert idx.shape == (50,)
+        assert idx.min() >= 0 and idx.max() < 10
+
+    def test_zero_weight_never_sampled(self):
+        weights = [1.0, 0.0, 1.0]
+        idx = weighted_sample_with_replacement(weights, 500, rng=1)
+        assert 1 not in set(idx.tolist())
+
+    def test_empirical_proportions(self):
+        weights = [1.0, 3.0]
+        idx = weighted_sample_with_replacement(weights, 20_000, rng=2)
+        frac = np.mean(idx == 1)
+        assert abs(frac - 0.75) < 0.02
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_sample_with_replacement([1.0], -1)
+
+
+class TestWithoutReplacement:
+    def test_distinct_indices(self):
+        idx = weighted_sample_without_replacement([1.0] * 20, 10, rng=0)
+        assert len(set(idx.tolist())) == 10
+
+    def test_size_capped_at_positive_support(self):
+        idx = weighted_sample_without_replacement([1.0, 0.0, 2.0], 10, rng=0)
+        assert set(idx.tolist()) == {0, 2}
+
+    def test_heavier_items_more_likely_included(self):
+        weights = np.ones(100)
+        weights[0] = 50.0
+        hits = 0
+        for seed in range(200):
+            idx = weighted_sample_without_replacement(weights, 5, rng=seed)
+            hits += int(0 in set(idx.tolist()))
+        # Item 0 carries ~1/3 of the weight; inclusion should be very common.
+        assert hits > 120
+
+    def test_zero_size(self):
+        idx = weighted_sample_without_replacement([1.0, 1.0], 0, rng=0)
+        assert idx.size == 0
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            weighted_sample_without_replacement([0.0, 0.0], 1, rng=0)
+
+
+class TestMultinomialSplit:
+    def test_counts_sum_to_size(self):
+        counts = multinomial_split([1.0, 2.0, 3.0], 100, rng=0)
+        assert counts.sum() == 100
+        assert counts.shape == (3,)
+
+    def test_proportionality(self):
+        counts = multinomial_split([1.0, 9.0], 50_000, rng=1)
+        assert abs(counts[1] / 50_000 - 0.9) < 0.01
+
+    def test_zero_size(self):
+        counts = multinomial_split([1.0, 1.0], 0, rng=0)
+        assert counts.sum() == 0
+
+
+class TestWeightedReservoirSampler:
+    def test_single_item(self):
+        sampler = WeightedReservoirSampler.create(rng=0)
+        sampler.offer("a", 1.0)
+        assert sampler.item == "a"
+        assert not sampler.is_empty
+
+    def test_zero_weight_items_ignored(self):
+        sampler = WeightedReservoirSampler.create(rng=0)
+        sampler.offer("a", 0.0)
+        assert sampler.is_empty
+        sampler.offer("b", 1.0)
+        sampler.offer("c", 0.0)
+        assert sampler.item == "b"
+
+    def test_negative_weight_rejected(self):
+        sampler = WeightedReservoirSampler.create(rng=0)
+        with pytest.raises(ValueError):
+            sampler.offer("a", -1.0)
+
+    def test_distribution_matches_weights(self):
+        weights = {"a": 1.0, "b": 2.0, "c": 7.0}
+        counts = {k: 0 for k in weights}
+        for seed in range(3000):
+            sampler = WeightedReservoirSampler.create(rng=seed)
+            for key, weight in weights.items():
+                sampler.offer(key, weight)
+            counts[sampler.item] += 1
+        assert abs(counts["c"] / 3000 - 0.7) < 0.04
+        assert abs(counts["a"] / 3000 - 0.1) < 0.03
+
+
+class TestExponentialKeyReservoir:
+    def test_capacity_respected(self):
+        reservoir = ExponentialKeyReservoir.create(5, rng=0)
+        for i in range(100):
+            reservoir.offer(i, 1.0)
+        assert len(reservoir) == 5
+        assert len(set(reservoir.sample())) == 5
+
+    def test_fewer_items_than_capacity(self):
+        reservoir = ExponentialKeyReservoir.create(10, rng=0)
+        for i in range(3):
+            reservoir.offer(i, 1.0)
+        assert sorted(reservoir.sample()) == [0, 1, 2]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ExponentialKeyReservoir.create(0, rng=0)
+
+    def test_heavy_item_usually_kept(self):
+        hits = 0
+        for seed in range(300):
+            reservoir = ExponentialKeyReservoir.create(3, rng=seed)
+            for i in range(50):
+                reservoir.offer(i, 100.0 if i == 17 else 1.0)
+            hits += int(17 in reservoir.sample())
+        assert hits > 270
+
+
+class TestStreamWeightedSample:
+    def test_with_replacement_size(self):
+        stream = [(i, 1.0) for i in range(50)]
+        sample = stream_weighted_sample(iter(stream), 8, rng=0, with_replacement=True)
+        assert len(sample) == 8
+
+    def test_without_replacement_distinct(self):
+        stream = [(i, 1.0 + i) for i in range(50)]
+        sample = stream_weighted_sample(iter(stream), 8, rng=0, with_replacement=False)
+        assert len(sample) == len(set(sample)) == 8
+
+
+class TestIterChunks:
+    def test_chunks(self):
+        chunks = list(iter_chunks(list(range(7)), 3))
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks([1, 2], 0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.floats(min_value=0.1, max_value=50.0), min_size=2, max_size=40),
+    size=st.integers(min_value=1, max_value=10),
+    seed=st.integers(0, 1000),
+)
+def test_without_replacement_properties(weights, size, seed):
+    """Property: the sample is sorted, distinct, in range, and <= min(size, n)."""
+    idx = weighted_sample_without_replacement(weights, size, rng=seed)
+    assert len(set(idx.tolist())) == idx.size
+    assert idx.size == min(size, len(weights))
+    assert np.all(np.diff(idx) > 0)
+    assert idx.min() >= 0 and idx.max() < len(weights)

@@ -1,0 +1,135 @@
+"""Tests for the LP solving substrate: HiGHS wrapper, lexicographic solve, Seidel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import InfeasibleProblemError, UnboundedProblemError
+from repro.problems.seidel import seidel_solve
+from repro.problems.solvers import lexicographic_minimum, solve_lp
+from repro.workloads import random_feasible_lp, random_polytope_lp
+
+
+class TestSolveLP:
+    def test_simple_two_dimensional(self):
+        # min x + y s.t. x >= 1, y >= 2  (as -x <= -1, -y <= -2)
+        solution = solve_lp(
+            c=[1.0, 1.0],
+            a_ub=[[-1.0, 0.0], [0.0, -1.0]],
+            b_ub=[-1.0, -2.0],
+            bounds=(-100.0, 100.0),
+        )
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.x == pytest.approx([1.0, 2.0])
+
+    def test_no_constraints_hits_box(self):
+        solution = solve_lp(c=[1.0, -1.0], bounds=(-5.0, 5.0))
+        assert solution.objective == pytest.approx(-10.0)
+
+    def test_equality_constraints(self):
+        solution = solve_lp(
+            c=[1.0, 0.0],
+            a_eq=[[1.0, 1.0]],
+            b_eq=[4.0],
+            bounds=(0.0, 10.0),
+        )
+        assert solution.x[0] == pytest.approx(0.0)
+        assert solution.x[1] == pytest.approx(4.0)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            solve_lp(
+                c=[1.0],
+                a_ub=[[1.0], [-1.0]],
+                b_ub=[-1.0, -1.0],
+                bounds=(-10.0, 10.0),
+            )
+
+    def test_unbounded_raises(self):
+        with pytest.raises(UnboundedProblemError):
+            solve_lp(c=[1.0], a_ub=[[0.0]], b_ub=[1.0])
+
+
+class TestLexicographicMinimum:
+    def test_breaks_ties_lexicographically(self):
+        # Objective ignores both coordinates on the segment x + y = 1,
+        # x, y in [0, 1]; the lexicographically smallest optimum is (0, 1).
+        solution = lexicographic_minimum(
+            c=np.array([1.0, 1.0]),
+            a_ub=np.array([[-1.0, -1.0]]),
+            b_ub=np.array([-1.0]),
+            bounds=(0.0, 1.0),
+        )
+        assert solution.x[0] == pytest.approx(0.0, abs=1e-6)
+        assert solution.x[1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_plain_solve_objective(self):
+        instance = random_feasible_lp(200, 3, seed=5).problem
+        plain = solve_lp(
+            instance.c, a_ub=instance.a, b_ub=instance.b, bounds=(-1e6, 1e6)
+        )
+        lex = lexicographic_minimum(
+            instance.c, a_ub=instance.a, b_ub=instance.b, bounds=(-1e6, 1e6)
+        )
+        assert lex.objective == pytest.approx(plain.objective, rel=1e-5, abs=1e-5)
+
+    def test_lexicographic_point_is_feasible(self):
+        instance = random_polytope_lp(150, 2, seed=9).problem
+        lex = lexicographic_minimum(
+            instance.c, a_ub=instance.a, b_ub=instance.b, bounds=(-1e6, 1e6)
+        )
+        assert np.all(instance.a @ lex.x <= instance.b + 1e-6)
+
+
+class TestSeidel:
+    @pytest.mark.parametrize("dimension", [1, 2, 3, 4])
+    def test_matches_highs_on_random_instances(self, dimension):
+        for seed in range(4):
+            instance = random_feasible_lp(120, dimension, seed=seed).problem
+            seidel = seidel_solve(instance.c, instance.a, instance.b, box=1e6, rng=seed)
+            highs = solve_lp(
+                instance.c, a_ub=instance.a, b_ub=instance.b, bounds=(-1e6, 1e6)
+            )
+            assert seidel.objective == pytest.approx(highs.objective, rel=1e-5, abs=1e-5)
+
+    def test_no_constraints_box_corner(self):
+        result = seidel_solve(np.array([1.0, -2.0]), None, None, box=10.0, rng=0)
+        assert result.objective == pytest.approx(-30.0)
+
+    def test_one_dimensional(self):
+        result = seidel_solve(
+            np.array([-1.0]), np.array([[1.0]]), np.array([3.0]), box=10.0, rng=0
+        )
+        assert result.objective == pytest.approx(-3.0)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleProblemError):
+            seidel_solve(
+                np.array([1.0]),
+                np.array([[1.0], [-1.0]]),
+                np.array([-1.0, -1.0]),
+                box=10.0,
+                rng=0,
+            )
+
+    def test_feasible_point_returned(self):
+        instance = random_polytope_lp(200, 3, seed=2).problem
+        result = seidel_solve(instance.c, instance.a, instance.b, box=1e6, rng=3)
+        assert np.all(instance.a @ result.x <= instance.b + 1e-6)
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            seidel_solve(np.array([1.0]), None, None, box=0.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), dimension=st.integers(2, 3))
+def test_seidel_agrees_with_highs_property(seed, dimension):
+    """Property: on random feasible LPs the two backends agree on the optimum."""
+    instance = random_feasible_lp(60, dimension, seed=seed).problem
+    seidel = seidel_solve(instance.c, instance.a, instance.b, box=1e6, rng=seed + 1)
+    highs = solve_lp(instance.c, a_ub=instance.a, b_ub=instance.b, bounds=(-1e6, 1e6))
+    assert abs(seidel.objective - highs.objective) <= 1e-4 * max(1.0, abs(highs.objective))

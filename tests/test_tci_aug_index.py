@@ -1,0 +1,184 @@
+"""Tests for the TCI problem, its LP reduction, and the Aug-Index reduction (Lemma 5.6)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import InvalidInstanceError
+from repro.lower_bounds.aug_index import (
+    AugIndexInstance,
+    aug_index_to_tci,
+    bit_from_tci_answer,
+    random_aug_index,
+)
+from repro.lower_bounds.tci import (
+    TCIInstance,
+    lp_optimum_to_index,
+    tci_to_envelope_lp,
+    tci_to_linear_program,
+)
+from repro.algorithms import chan_chen_2d_streaming
+
+
+def figure1_instance() -> TCIInstance:
+    """A hand-built 7-point instance in the spirit of Figure 1a (answer = 4)."""
+    alice = np.array([0.0, 1.0, 2.5, 4.5, 7.0, 10.0, 13.5])
+    bob = np.array([12.0, 10.0, 8.0, 6.0, 4.0, 2.0, 0.0])
+    return TCIInstance(alice=alice, bob=bob)
+
+
+class TestTCIInstance:
+    def test_validation_of_lengths(self):
+        with pytest.raises(InvalidInstanceError):
+            TCIInstance(alice=[0.0, 1.0], bob=[1.0])
+        with pytest.raises(InvalidInstanceError):
+            TCIInstance(alice=[0.0], bob=[1.0])
+
+    def test_figure1_is_valid(self):
+        instance = figure1_instance()
+        assert instance.alice_is_valid()
+        assert instance.bob_is_valid()
+        assert instance.is_valid()
+
+    def test_figure1_answer(self):
+        assert figure1_instance().solve() == 4
+
+    def test_binary_search_matches_scan(self):
+        instance = figure1_instance()
+        assert instance.solve_binary_search() == instance.solve()
+
+    def test_invalid_alice_detected(self):
+        instance = TCIInstance(alice=[0.0, 5.0, 6.0], bob=[10.0, 4.0, 1.0])
+        # Differences 5 then 1: not convex.
+        assert not instance.alice_is_valid()
+
+    def test_invalid_bob_detected(self):
+        instance = TCIInstance(alice=[0.0, 1.0, 3.0], bob=[10.0, 9.0, 1.0])
+        # Bob's differences -1 then -8: decreasing differences, not convex.
+        assert not instance.bob_is_valid()
+
+    def test_no_crossing_detected(self):
+        instance = TCIInstance(alice=[0.0, 1.0, 2.0], bob=[10.0, 9.0, 8.0])
+        assert instance.solve(validate=False) is None
+        with pytest.raises(InvalidInstanceError):
+            instance.validate()
+
+    def test_crossing_at_first_index(self):
+        instance = TCIInstance(alice=[0.0, 10.0, 21.0], bob=[5.0, 1.0, -3.0])
+        assert instance.solve() == 1
+
+
+class TestTCIToLinearProgram:
+    def test_figure1_reduction(self):
+        instance = figure1_instance()
+        lp = tci_to_linear_program(instance)
+        assert lp.dimension == 2
+        assert lp.num_constraints == 2 * (instance.length - 1)
+        result = lp.solve()
+        assert lp_optimum_to_index(result.witness[0], instance.length) == 4
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_aug_index_instances_decode_correctly(self, seed):
+        aug = random_aug_index(12, seed=seed)
+        instance = aug_index_to_tci(aug, sigma=2.0)
+        lp = tci_to_linear_program(instance)
+        result = lp.solve()
+        decoded = lp_optimum_to_index(result.witness[0], instance.length)
+        assert decoded == instance.solve()
+
+    def test_envelope_reduction_matches(self):
+        instance = figure1_instance()
+        envelope = tci_to_envelope_lp(instance)
+        result = chan_chen_2d_streaming(envelope, r=2)
+        assert lp_optimum_to_index(result.witness[0], instance.length) == 4
+
+    def test_lp_optimum_to_index_clamps(self):
+        assert lp_optimum_to_index(-3.0, 10) == 1
+        assert lp_optimum_to_index(99.0, 10) == 9
+        assert lp_optimum_to_index(4.999999999, 10) == 5
+
+
+class TestAugIndexInstance:
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            AugIndexInstance(bits=np.array([0, 2]), index=1)
+        with pytest.raises(InvalidInstanceError):
+            AugIndexInstance(bits=np.array([0, 1]), index=3)
+        with pytest.raises(InvalidInstanceError):
+            AugIndexInstance(bits=np.array([], dtype=int), index=1)
+
+    def test_prefix_and_answer(self):
+        instance = AugIndexInstance(bits=np.array([1, 0, 1, 1]), index=3)
+        assert instance.prefix.tolist() == [1, 0]
+        assert instance.answer == 1
+
+    def test_random_instance_in_range(self):
+        instance = random_aug_index(20, seed=0)
+        assert 1 <= instance.index <= 20
+        assert instance.bits.size == 20
+
+
+class TestLemma56Reduction:
+    @pytest.mark.parametrize("length", [1, 2, 3, 4, 5])
+    def test_exhaustive_correctness(self, length):
+        """For every bit string and every index, the TCI answer reveals the bit."""
+        for bits in itertools.product((0, 1), repeat=length):
+            for index in range(1, length + 1):
+                aug = AugIndexInstance(bits=np.array(bits), index=index)
+                tci = aug_index_to_tci(aug)
+                assert tci.is_valid(), (bits, index)
+                assert bit_from_tci_answer(aug, tci.solve()) == aug.answer
+
+    def test_instance_size_is_bits_plus_two(self):
+        aug = random_aug_index(9, seed=1)
+        assert aug_index_to_tci(aug).length == 11
+
+    def test_alice_curve_independent_of_bobs_index(self):
+        bits = np.array([1, 0, 1, 0, 0, 1])
+        curves = [
+            aug_index_to_tci(AugIndexInstance(bits=bits, index=i)).alice for i in range(1, 7)
+        ]
+        for curve in curves[1:]:
+            assert np.allclose(curve, curves[0])
+
+    def test_steeper_sigma_still_correct(self):
+        for sigma in (0.5, 1.0, 10.0, 1000.0):
+            aug = AugIndexInstance(bits=np.array([0, 1, 1, 0]), index=2)
+            tci = aug_index_to_tci(aug, sigma=sigma)
+            assert tci.is_valid()
+            assert bit_from_tci_answer(aug, tci.solve()) == 1
+
+    def test_alpha_floor_still_correct(self):
+        aug = AugIndexInstance(bits=np.array([1, 1, 0, 0, 1]), index=4)
+        tci = aug_index_to_tci(aug, alpha=50.0, sigma=3.0)
+        assert tci.is_valid()
+        assert bit_from_tci_answer(aug, tci.solve()) == 0
+
+    def test_decoding_rejects_impossible_answer(self):
+        aug = AugIndexInstance(bits=np.array([1, 0]), index=1)
+        with pytest.raises(InvalidInstanceError):
+            bit_from_tci_answer(aug, 5)
+
+    def test_invalid_sigma(self):
+        aug = random_aug_index(4, seed=2)
+        with pytest.raises(ValueError):
+            aug_index_to_tci(aug, sigma=0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=25),
+    seed=st.integers(0, 10_000),
+    sigma=st.floats(min_value=0.25, max_value=100.0),
+)
+def test_reduction_property(length, seed, sigma):
+    """Property: the reduction always yields a valid instance decoding to the right bit."""
+    aug = random_aug_index(length, seed=seed)
+    tci = aug_index_to_tci(aug, sigma=sigma)
+    assert tci.is_valid()
+    assert bit_from_tci_answer(aug, tci.solve()) == aug.answer

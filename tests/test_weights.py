@@ -1,0 +1,123 @@
+"""Unit tests for the explicit and implicit (basis-derived) weight oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.weights import ExplicitWeights, ImplicitWeights, boost_factor
+
+
+class TestBoostFactor:
+    def test_value(self):
+        assert boost_factor(10_000, 2) == pytest.approx(100.0)
+
+    def test_r_one_is_n(self):
+        assert boost_factor(500, 1) == pytest.approx(500.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            boost_factor(0, 2)
+        with pytest.raises(ValueError):
+            boost_factor(10, 0)
+
+
+class TestExplicitWeights:
+    def test_uniform_start(self):
+        weights = ExplicitWeights.uniform(5, boost=10.0)
+        assert len(weights) == 5
+        assert np.allclose(weights.weights(), 1.0)
+
+    def test_multiply_boosts_selected(self):
+        weights = ExplicitWeights.uniform(4, boost=10.0)
+        weights.multiply([1, 3])
+        w = weights.weights()
+        assert w[1] == pytest.approx(1.0)  # normalised to max
+        assert w[0] == pytest.approx(0.1)
+        assert w[3] == pytest.approx(1.0)
+
+    def test_multiply_empty_noop(self):
+        weights = ExplicitWeights.uniform(3, boost=2.0)
+        weights.multiply([])
+        assert np.allclose(weights.weights(), 1.0)
+
+    def test_fraction(self):
+        weights = ExplicitWeights.uniform(4, boost=3.0)
+        assert weights.fraction([0, 1]) == pytest.approx(0.5)
+        weights.multiply([0])
+        # Weights are now 3, 1, 1, 1: indices {0} carry 0.5 of the total.
+        assert weights.fraction([0]) == pytest.approx(0.5)
+
+    def test_fraction_empty_is_zero(self):
+        weights = ExplicitWeights.uniform(4, boost=3.0)
+        assert weights.fraction([]) == 0.0
+
+    def test_total_weight_log(self):
+        weights = ExplicitWeights.uniform(4, boost=np.e)
+        assert weights.total_weight_log() == pytest.approx(np.log(4.0))
+        weights.multiply([0])
+        assert weights.total_weight_log() == pytest.approx(np.log(3.0 + np.e))
+
+    def test_no_overflow_with_many_boosts(self):
+        weights = ExplicitWeights.uniform(10, boost=1e6)
+        for _ in range(100):
+            weights.multiply([0])
+        w = weights.weights()
+        assert np.isfinite(w).all()
+        assert w[0] == pytest.approx(1.0)
+        assert weights.fraction([0]) == pytest.approx(1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ExplicitWeights.uniform(0, boost=2.0)
+        with pytest.raises(ValueError):
+            ExplicitWeights.uniform(3, boost=1.0)
+
+
+class TestImplicitWeights:
+    @staticmethod
+    def _make(boost=4.0):
+        # A basis here is just a threshold; constraint i "violates" basis t
+        # when i >= t.  This gives an easy closed form for the exponents.
+        return ImplicitWeights(boost=boost, violates=lambda t, i: i >= t)
+
+    def test_no_bases_means_uniform(self):
+        weights = self._make()
+        assert weights.exponent(3) == 0
+        assert weights.weight(3) == pytest.approx(1.0)
+
+    def test_exponent_counts_violated_bases(self):
+        weights = self._make()
+        weights.record_basis(2)
+        weights.record_basis(5)
+        assert weights.exponent(1) == 0
+        assert weights.exponent(3) == 1
+        assert weights.exponent(7) == 2
+        assert weights.num_bases == 2
+
+    def test_weight_relative_to_reference(self):
+        weights = self._make(boost=3.0)
+        weights.record_basis(0)
+        assert weights.weight(5, reference_exponent=1) == pytest.approx(1.0)
+        assert weights.weight(5, reference_exponent=0) == pytest.approx(3.0)
+
+    def test_log_weight(self):
+        weights = self._make(boost=np.e)
+        weights.record_basis(0)
+        weights.record_basis(0)
+        assert weights.log_weight(5) == pytest.approx(2.0)
+
+    def test_matches_explicit_weights(self):
+        """The streaming implicit weights equal the explicit ones for the same history."""
+        boost = 7.0
+        explicit = ExplicitWeights.uniform(10, boost=boost)
+        implicit = self._make(boost=boost)
+        history = [4, 8, 2]
+        for threshold in history:
+            violators = [i for i in range(10) if i >= threshold]
+            explicit.multiply(violators)
+            implicit.record_basis(threshold)
+        explicit_w = explicit.weights()
+        max_exp = max(implicit.exponent(i) for i in range(10))
+        implicit_w = np.array([implicit.weight(i, reference_exponent=max_exp) for i in range(10)])
+        assert np.allclose(explicit_w / explicit_w.sum(), implicit_w / implicit_w.sum())

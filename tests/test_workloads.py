@@ -1,0 +1,175 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems.solvers import solve_lp
+from repro.workloads import (
+    blocked_order,
+    chebyshev_regression_lp,
+    clustered_points,
+    degenerate_lp,
+    identity_order,
+    infeasible_lp,
+    linear_separability_lp,
+    make_regression_data,
+    make_separable_classification,
+    random_feasible_lp,
+    random_order,
+    random_polytope_lp,
+    sorted_by_tightness_order,
+    sphere_surface_points,
+    uniform_ball_points,
+)
+
+
+class TestLPInstances:
+    def test_random_feasible_interior_point_is_strictly_feasible(self):
+        instance = random_feasible_lp(500, 3, seed=0)
+        slack = instance.problem.b - instance.problem.a @ instance.interior_point
+        assert np.all(slack > 0)
+
+    def test_random_polytope_contains_origin(self):
+        instance = random_polytope_lp(300, 2, seed=1)
+        assert instance.problem.is_feasible(np.zeros(2))
+
+    def test_degenerate_optimum_at_shared_vertex(self):
+        instance = degenerate_lp(100, 3, seed=2)
+        result = instance.problem.solve()
+        assert np.allclose(result.witness, np.ones(3), atol=1e-5)
+
+    def test_infeasible_instance_is_infeasible(self):
+        instance = infeasible_lp(dimension=2)
+        assert instance.problem.solve().value.infeasible
+
+    def test_metadata_recorded(self):
+        instance = random_feasible_lp(50, 2, seed=3)
+        assert instance.metadata["kind"] == "random_feasible"
+        assert instance.metadata["n"] == 50
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_feasible_lp(0, 2)
+        with pytest.raises(ValueError):
+            random_feasible_lp(10, 0)
+
+
+class TestRegressionWorkloads:
+    def test_data_shapes(self):
+        data = make_regression_data(200, 4, seed=0)
+        assert data.features.shape == (200, 4)
+        assert data.targets.shape == (200,)
+        assert data.true_weights.shape == (4,)
+
+    def test_chebyshev_lp_dimensions(self):
+        data = make_regression_data(150, 3, seed=1)
+        lp = chebyshev_regression_lp(data)
+        assert lp.dimension == 4  # weights + max residual
+        assert lp.num_constraints == 300
+
+    def test_chebyshev_lp_recovers_weights_with_bounded_noise(self):
+        data = make_regression_data(400, 2, seed=2, noise_scale=0.05)
+        lp = chebyshev_regression_lp(data)
+        result = lp.solve()
+        recovered = np.array(result.witness[:2])
+        assert np.allclose(recovered, data.true_weights, atol=0.1)
+        # The optimal maximum residual is at most the noise level.
+        assert result.witness[2] <= 0.05 + 1e-6
+
+    def test_chebyshev_objective_matches_direct_lp(self):
+        data = make_regression_data(100, 2, seed=3)
+        lp = chebyshev_regression_lp(data)
+        direct = solve_lp(lp.c, a_ub=lp.a, b_ub=lp.b, bounds=(-lp.box_bound, lp.box_bound))
+        assert lp.solve().value.objective == pytest.approx(direct.objective, abs=1e-6)
+
+    def test_outliers_increase_linf_error(self):
+        clean = make_regression_data(200, 2, seed=4, noise_scale=0.05)
+        noisy = make_regression_data(200, 2, seed=4, noise_scale=0.05, outlier_fraction=0.05)
+        clean_err = chebyshev_regression_lp(clean).solve().value.objective
+        noisy_err = chebyshev_regression_lp(noisy).solve().value.objective
+        assert noisy_err > clean_err
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_regression_data(0, 2)
+
+
+class TestClassificationWorkloads:
+    def test_labels_and_margin(self):
+        data = make_separable_classification(300, 3, seed=0, margin=0.7)
+        assert set(np.unique(data.labels)) == {-1.0, 1.0}
+        margins = data.labels * (data.points @ data.true_direction)
+        assert np.all(margins >= 0.7 - 1e-9)
+
+    def test_both_classes_present(self):
+        data = make_separable_classification(10, 2, seed=1)
+        assert (data.labels == 1.0).any() and (data.labels == -1.0).any()
+
+    def test_separability_lp_positive_margin(self):
+        data = make_separable_classification(200, 2, seed=2, margin=0.5)
+        lp = linear_separability_lp(data)
+        result = lp.solve()
+        # The objective is -delta; separable data means delta > 0.
+        assert result.value.objective < -1e-6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_separable_classification(1, 2)
+        with pytest.raises(ValueError):
+            make_separable_classification(10, 2, margin=0.0)
+
+
+class TestGeometryClouds:
+    def test_uniform_ball_radius_bound(self):
+        pts = uniform_ball_points(500, 3, radius=2.0, seed=0)
+        assert np.all(np.linalg.norm(pts, axis=1) <= 2.0 + 1e-9)
+
+    def test_sphere_surface_exact_radius(self):
+        pts = sphere_surface_points(200, 4, radius=3.0, seed=1)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 3.0)
+
+    def test_center_offset(self):
+        center = np.array([5.0, -2.0])
+        pts = uniform_ball_points(300, 2, radius=1.0, center=center, seed=2)
+        assert np.all(np.linalg.norm(pts - center, axis=1) <= 1.0 + 1e-9)
+
+    def test_clustered_shape(self):
+        pts = clustered_points(100, 5, num_clusters=4, seed=3)
+        assert pts.shape == (100, 5)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            uniform_ball_points(0, 2)
+        with pytest.raises(ValueError):
+            clustered_points(10, 2, num_clusters=0)
+
+
+class TestStreamOrders:
+    def test_identity(self):
+        assert identity_order(5).tolist() == [0, 1, 2, 3, 4]
+
+    def test_random_is_permutation(self):
+        order = random_order(100, seed=0)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_tightness_order(self):
+        a = np.array([[1.0, 0.0], [1.0, 0.0]])
+        b = np.array([10.0, 1.0])
+        order = sorted_by_tightness_order(a, b, np.zeros(2), descending=True)
+        assert order.tolist() == [0, 1]  # the slack-10 constraint first
+        ascending = sorted_by_tightness_order(a, b, np.zeros(2), descending=False)
+        assert ascending.tolist() == [1, 0]
+
+    def test_blocked_order_is_permutation(self):
+        order = blocked_order(100, 7, seed=1)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_blocked_order_invalid(self):
+        with pytest.raises(ValueError):
+            blocked_order(10, 0)
+
+    def test_identity_invalid(self):
+        with pytest.raises(ValueError):
+            identity_order(-1)
