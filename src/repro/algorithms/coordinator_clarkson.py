@@ -1,4 +1,4 @@
-"""Coordinator-model implementation of the meta-algorithm (Theorem 2).
+"""Coordinator-model binding of the Clarkson engine (Theorem 2).
 
 The constraint set is partitioned over ``k`` sites.  Every iteration of
 Algorithm 1 is simulated with three coordinator rounds:
@@ -12,7 +12,8 @@ Algorithm 1 is simulated with three coordinator rounds:
    proportionally to its local weights;
 3. **violation round** — the coordinator broadcasts the basis (witness plus
    basis constraints) it computed from the union of the samples; each site
-   replies with the weight and count of its local violators.
+   replies with the weight and count of its local violators (measured with
+   one vectorised ``violation_mask`` call per site).
 
 This uses ``O(nu * r)`` rounds and
 ``O~(lambda * nu * n^{1/r} + k)`` constraints of communication per run,
@@ -20,6 +21,12 @@ matching Theorem 2 (a constant factor of 3 in rounds over the idealised
 accounting, recorded in EXPERIMENTS.md).  Sites keep explicit local weights,
 which is allowed: per-site memory is only required to be proportional to its
 input share.
+
+The iteration loop itself lives in :class:`repro.core.engine.ClarksonEngine`;
+rounds 1-2 happen inside the sampling strategy, round 3 inside the weight
+substrate, and a successful iteration's boost is queued as *pending* so the
+sites apply it during the next iteration's weight round, exactly as the
+protocol prescribes.
 """
 
 from __future__ import annotations
@@ -31,9 +38,18 @@ import numpy as np
 
 from ..core.accounting import BitCostModel
 from ..core.clarkson import ClarksonParameters, resolve_sampling, solve_small_problem
+from ..core.engine import (
+    ClarksonEngine,
+    EngineConfig,
+    SamplingStrategy,
+    ViolationOracle,
+    ViolationStats,
+    WeightSubstrate,
+    iteration_budget,
+)
 from ..core.exceptions import IterationLimitError
 from ..core.lptype import BasisResult, LPTypeProblem
-from ..core.result import IterationRecord, ResourceUsage, SolveResult
+from ..core.result import ResourceUsage, SolveResult
 from ..core.rng import SeedLike, as_generator, spawn
 from ..core.sampling import multinomial_split, weighted_sample_without_replacement
 from ..core.weights import ExplicitWeights, boost_factor
@@ -41,6 +57,150 @@ from ..models.coordinator import CoordinatorNetwork, Message
 from ..models.partition import partition_indices
 
 __all__ = ["coordinator_clarkson_solve"]
+
+
+class _CoordinatorState:
+    """State shared between the coordinator sampler and substrate."""
+
+    def __init__(
+        self,
+        problem: LPTypeProblem,
+        network: CoordinatorNetwork,
+        oracle: ViolationOracle,
+        boost: float,
+        cost_model: BitCostModel,
+        gen: np.random.Generator,
+    ) -> None:
+        self.problem = problem
+        self.network = network
+        self.oracle = oracle
+        self.cost_model = cost_model
+        self.gen = gen
+        self.site_rngs = spawn(gen, network.num_sites)
+        self.payload_coeffs = problem.payload_num_coefficients()
+        # Per-site explicit weights over the local constraints.
+        self.site_weights = [
+            ExplicitWeights.uniform(max(1, site.num_local), boost)
+            for site in network.sites
+        ]
+        # Violator positions of the last successful iteration, applied by the
+        # sites at the start of the next weight round.
+        self.pending_violators: list[np.ndarray] | None = None
+
+
+class MultinomialSplitSampling(SamplingStrategy):
+    """Rounds 1-2 of an iteration: weight totals, then a Lemma 3.7 split."""
+
+    def __init__(self, state: _CoordinatorState) -> None:
+        self.state = state
+
+    def draw(self, sample_size: int) -> np.ndarray:
+        state = self.state
+        network = state.network
+        cost_model = state.cost_model
+
+        # ---------------- round 1: weight totals (and weight update) ---------------- #
+        network.begin_round()
+        local_totals = []
+        for site in network.sites:
+            flag = 1 if state.pending_violators is not None else 0
+            network.coordinator_to_site(
+                site.site_id, Message(("update?", flag), cost_model.counters(1))
+            )
+            if state.pending_violators is not None and site.num_local > 0:
+                state.site_weights[site.site_id].multiply(
+                    state.pending_violators[site.site_id]
+                )
+            total = (
+                float(np.exp(state.site_weights[site.site_id].total_weight_log()))
+                if site.num_local > 0
+                else 0.0
+            )
+            local_totals.append(total)
+            network.site_to_coordinator(
+                site.site_id, Message(total, cost_model.coefficients(1))
+            )
+        network.end_round()
+        state.pending_violators = None
+
+        # ---------------- round 2: multinomial split and local sampling ---------------- #
+        totals = np.asarray(local_totals, dtype=float)
+        if totals.sum() <= 0:
+            raise IterationLimitError("all site weights vanished; invalid state")
+        counts = multinomial_split(totals, sample_size, rng=state.gen)
+        network.begin_round()
+        sampled_indices: list[int] = []
+        for site in network.sites:
+            network.coordinator_to_site(
+                site.site_id, Message(int(counts[site.site_id]), cost_model.counters(1))
+            )
+            y = int(min(counts[site.site_id], site.num_local))
+            if y > 0:
+                local_sample = weighted_sample_without_replacement(
+                    state.site_weights[site.site_id].weights(),
+                    y,
+                    rng=state.site_rngs[site.site_id],
+                )
+                chosen = site.local_indices[local_sample]
+                sampled_indices.extend(int(i) for i in chosen)
+                bits = cost_model.coefficients(len(chosen) * state.payload_coeffs)
+            else:
+                chosen = np.empty(0, dtype=int)
+                bits = cost_model.counters(1)
+            network.site_to_coordinator(site.site_id, Message(chosen, bits))
+        network.end_round()
+        return np.asarray(sorted(set(sampled_indices)), dtype=int)
+
+
+class PartitionedWeightSubstrate(WeightSubstrate):
+    """Round 3 of an iteration: basis broadcast plus violation statistics."""
+
+    def __init__(self, state: _CoordinatorState) -> None:
+        self.state = state
+
+    def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
+        state = self.state
+        network = state.network
+        cost_model = state.cost_model
+        basis_bits = cost_model.coefficients(
+            (len(basis.indices) + 1) * state.payload_coeffs + state.problem.dimension
+        )
+        network.begin_round()
+        violator_count = 0
+        violator_weight = 0.0
+        total_weight = 0.0
+        per_site_violators: list[np.ndarray] = []
+        for site in network.sites:
+            network.coordinator_to_site(
+                site.site_id, Message(("basis", basis.indices), basis_bits)
+            )
+            if site.num_local > 0:
+                # Positions of the violators inside the site's local arrays.
+                mask = state.oracle.mask(basis.witness, site.local_indices)
+                positions = np.flatnonzero(mask)
+                weights = state.site_weights[site.site_id]
+                w_frac = weights.fraction(positions)
+                site_total = float(np.exp(weights.total_weight_log()))
+                violator_weight += w_frac * site_total
+                total_weight += site_total
+                violator_count += int(positions.size)
+                per_site_violators.append(positions)
+            else:
+                per_site_violators.append(np.empty(0, dtype=int))
+            network.site_to_coordinator(
+                site.site_id, Message(("stats",), cost_model.coefficients(2))
+            )
+        network.end_round()
+        fraction = violator_weight / total_weight if total_weight > 0 else 0.0
+        return ViolationStats(
+            num_violators=violator_count,
+            weight_fraction=fraction,
+            context=per_site_violators,
+        )
+
+    def boost(self, stats: ViolationStats) -> None:
+        # The boost is applied by the sites during the next weight round.
+        self.state.pending_violators = stats.context
 
 
 def coordinator_clarkson_solve(
@@ -82,13 +242,11 @@ def coordinator_clarkson_solve(
     params = replace(base_params, r=r)
     gen = as_generator(rng)
     n = problem.num_constraints
-    nu = problem.combinatorial_dimension
     cost_model = cost_model or BitCostModel()
 
     if partition is None:
         partition = partition_indices(n, num_sites, method="round_robin")
     network = CoordinatorNetwork(partition, cost_model=cost_model)
-    site_rngs = spawn(gen, network.num_sites)
 
     sample_size, epsilon = resolve_sampling(problem, params)
     payload_coeffs = problem.payload_num_coefficients()
@@ -112,120 +270,28 @@ def coordinator_clarkson_solve(
         return result
 
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
-    budget = params.max_iterations or (40 * nu * params.r + 40)
+    state = _CoordinatorState(
+        problem=problem,
+        network=network,
+        oracle=ViolationOracle(problem),
+        boost=boost,
+        cost_model=cost_model,
+        gen=gen,
+    )
+    engine = ClarksonEngine(
+        problem=problem,
+        sampler=MultinomialSplitSampling(state),
+        substrate=PartitionedWeightSubstrate(state),
+        config=EngineConfig(
+            sample_size=sample_size,
+            epsilon=epsilon,
+            budget=iteration_budget(problem, params.r, params.max_iterations),
+            keep_trace=params.keep_trace,
+            name="coordinator Clarkson",
+        ),
+    )
+    outcome = engine.run()
 
-    # Per-site explicit weights over the local constraints.
-    site_weights = [
-        ExplicitWeights.uniform(max(1, site.num_local), boost) for site in network.sites
-    ]
-
-    trace: list[IterationRecord] = []
-    successful = 0
-    final_basis: BasisResult | None = None
-    pending_violators: list[np.ndarray] | None = None
-
-    for iteration in range(budget):
-        # ---------------- round 1: weight totals (and weight update) ---------------- #
-        network.begin_round()
-        local_totals = []
-        for site in network.sites:
-            flag = 1 if pending_violators is not None else 0
-            network.coordinator_to_site(site.site_id, Message(("update?", flag), cost_model.counters(1)))
-            if pending_violators is not None and site.num_local > 0:
-                local_positions = pending_violators[site.site_id]
-                site_weights[site.site_id].multiply(local_positions)
-            total = (
-                float(np.exp(site_weights[site.site_id].total_weight_log()))
-                if site.num_local > 0
-                else 0.0
-            )
-            local_totals.append(total)
-            network.site_to_coordinator(
-                site.site_id, Message(total, cost_model.coefficients(1))
-            )
-        network.end_round()
-        pending_violators = None
-
-        # ---------------- round 2: multinomial split and local sampling ---------------- #
-        totals = np.asarray(local_totals, dtype=float)
-        if totals.sum() <= 0:
-            raise IterationLimitError("all site weights vanished; invalid state")
-        counts = multinomial_split(totals, sample_size, rng=gen)
-        network.begin_round()
-        sampled_indices: list[int] = []
-        for site in network.sites:
-            network.coordinator_to_site(
-                site.site_id, Message(int(counts[site.site_id]), cost_model.counters(1))
-            )
-            y = int(min(counts[site.site_id], site.num_local))
-            if y > 0:
-                local_sample = weighted_sample_without_replacement(
-                    site_weights[site.site_id].weights(), y, rng=site_rngs[site.site_id]
-                )
-                chosen = site.local_indices[local_sample]
-                sampled_indices.extend(int(i) for i in chosen)
-                bits = cost_model.coefficients(len(chosen) * payload_coeffs)
-            else:
-                chosen = np.empty(0, dtype=int)
-                bits = cost_model.counters(1)
-            network.site_to_coordinator(site.site_id, Message(chosen, bits))
-        network.end_round()
-
-        basis = problem.solve_subset(sorted(set(sampled_indices)))
-
-        # ---------------- round 3: basis broadcast and violation statistics ---------- #
-        basis_bits = cost_model.coefficients(
-            (len(basis.indices) + 1) * payload_coeffs + problem.dimension
-        )
-        network.begin_round()
-        violator_count = 0
-        violator_weight = 0.0
-        total_weight = 0.0
-        per_site_violators: list[np.ndarray] = []
-        for site in network.sites:
-            network.coordinator_to_site(site.site_id, Message(("basis", basis.indices), basis_bits))
-            if site.num_local > 0:
-                local_violators = problem.violating_indices(basis.witness, site.local_indices)
-                # Positions of the violators inside the site's local arrays.
-                positions = np.searchsorted(site.local_indices, local_violators)
-                w_frac = site_weights[site.site_id].fraction(positions)
-                site_total = float(np.exp(site_weights[site.site_id].total_weight_log()))
-                violator_weight += w_frac * site_total
-                total_weight += site_total
-                violator_count += int(local_violators.size)
-                per_site_violators.append(positions)
-            else:
-                per_site_violators.append(np.empty(0, dtype=int))
-            network.site_to_coordinator(
-                site.site_id, Message(("stats",), cost_model.coefficients(2))
-            )
-        network.end_round()
-
-        fraction = violator_weight / total_weight if total_weight > 0 else 0.0
-        success = fraction <= epsilon
-        if params.keep_trace:
-            trace.append(
-                IterationRecord(
-                    iteration=iteration,
-                    sample_size=len(set(sampled_indices)),
-                    num_violators=violator_count,
-                    violator_weight_fraction=float(fraction),
-                    successful=success,
-                    basis_indices=basis.indices,
-                )
-            )
-        if violator_count == 0:
-            final_basis = basis
-            break
-        if success:
-            pending_violators = per_site_violators
-            successful += 1
-    else:
-        raise IterationLimitError(
-            f"coordinator Clarkson did not terminate within {budget} iterations"
-        )
-
-    assert final_basis is not None
     resources = ResourceUsage(
         rounds=network.rounds,
         total_communication_bits=network.total_bits,
@@ -233,13 +299,13 @@ def coordinator_clarkson_solve(
         machine_count=network.num_sites,
     )
     return SolveResult(
-        value=final_basis.value,
-        witness=final_basis.witness,
-        basis_indices=final_basis.indices,
-        iterations=len(trace) if params.keep_trace else network.rounds // 3,
-        successful_iterations=successful,
+        value=outcome.basis.value,
+        witness=outcome.basis.witness,
+        basis_indices=outcome.basis.indices,
+        iterations=outcome.iterations,
+        successful_iterations=outcome.successful_iterations,
         resources=resources,
-        trace=trace,
+        trace=outcome.trace,
         metadata={
             "algorithm": "coordinator_clarkson",
             "r": params.r,

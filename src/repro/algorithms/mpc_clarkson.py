@@ -1,4 +1,4 @@
-"""MPC implementation of the meta-algorithm (Theorem 3).
+"""MPC binding of the Clarkson engine (Theorem 3).
 
 The constraint set is partitioned over ``k`` machines with roughly ``n^delta``
 constraints each; machine 0 plays the role of the coordinator.  Because the
@@ -11,7 +11,8 @@ simulated with the standard tree primitives of Goodrich et al. [23]:
 * the total constraint weight is computed by an **aggregation** tree in
   ``O(1/delta)`` rounds;
 * every machine then samples its share of the eps-net locally (it knows its
-  own weights — they are implicit in the broadcast bases — and the total
+  own weights — they are implicit in the broadcast bases, evaluated in one
+  vectorised ``violation_count_matrix`` sweep per machine — and the total
   weight) and ships the sample directly to the coordinator; the sample fits
   in the coordinator's ``O~(n^delta)`` load by the choice of the eps-net
   size.
@@ -19,6 +20,10 @@ simulated with the standard tree primitives of Goodrich et al. [23]:
 With ``r = ceil(1/delta)`` iterations of Algorithm 1 behaving as in the
 coordinator model, the total round count is ``O(nu / delta^2)`` and the
 per-machine load is ``O~(lambda * nu^2 * n^delta)`` bits, matching Theorem 3.
+
+The iteration loop itself lives in :class:`repro.core.engine.ClarksonEngine`;
+the aggregation/sampling trees run inside the sampling strategy, the
+basis-broadcast and statistics trees inside the weight substrate.
 """
 
 from __future__ import annotations
@@ -31,15 +36,26 @@ import numpy as np
 
 from ..core.accounting import BitCostModel
 from ..core.clarkson import ClarksonParameters, resolve_sampling, solve_small_problem
+from ..core.engine import (
+    ClarksonEngine,
+    EngineConfig,
+    SamplingStrategy,
+    ViolationOracle,
+    ViolationStats,
+    WeightSubstrate,
+    iteration_budget,
+)
 from ..core.exceptions import IterationLimitError
 from ..core.lptype import BasisResult, LPTypeProblem
-from ..core.result import IterationRecord, ResourceUsage, SolveResult
+from ..core.result import ResourceUsage, SolveResult
 from ..core.rng import SeedLike, as_generator, spawn
 from ..core.weights import boost_factor
 from ..models.mpc import MPCCluster
 from ..models.partition import partition_indices
 
 __all__ = ["mpc_clarkson_solve", "machines_for_load"]
+
+_COORDINATOR = 0
 
 
 def machines_for_load(num_constraints: int, delta: float) -> int:
@@ -49,6 +65,159 @@ def machines_for_load(num_constraints: int, delta: float) -> int:
     if num_constraints < 1:
         raise ValueError("num_constraints must be >= 1")
     return max(1, int(math.ceil(num_constraints ** (1.0 - delta))))
+
+
+class _MPCState:
+    """State shared between the MPC sampler and substrate."""
+
+    def __init__(
+        self,
+        problem: LPTypeProblem,
+        cluster: MPCCluster,
+        oracle: ViolationOracle,
+        boost: float,
+        fanout: int,
+        cost_model: BitCostModel,
+        gen: np.random.Generator,
+    ) -> None:
+        self.problem = problem
+        self.cluster = cluster
+        self.oracle = oracle
+        self.boost = boost
+        self.fanout = fanout
+        self.cost_model = cost_model
+        self.machine_rngs = spawn(gen, cluster.num_machines)
+        self.payload_coeffs = problem.payload_num_coefficients()
+        # Every machine stores the broadcast bases and derives its local
+        # weights from them (implicit weights, exactly as in the streaming
+        # driver).
+        self.stored_witnesses: list[object] = []
+        self.total_weight = 0.0
+
+    def local_weights(self, machine_indices: np.ndarray) -> np.ndarray:
+        """Implicit weights of one machine's constraints, vectorised.
+
+        One ``violation_count_matrix`` sweep against all stored bases;
+        weights are relative to ``boost ** num_bases`` to stay finite.
+        """
+        exponents = self.oracle.count_matrix(self.stored_witnesses, machine_indices)
+        return self.boost ** (exponents - len(self.stored_witnesses)).astype(float)
+
+
+class TreeRoundSampling(SamplingStrategy):
+    """Weight aggregation tree plus the direct-to-coordinator sampling round."""
+
+    def __init__(self, state: _MPCState) -> None:
+        self.state = state
+
+    def draw(self, sample_size: int) -> np.ndarray:
+        state = self.state
+        cluster = state.cluster
+        cost_model = state.cost_model
+
+        # -------- total weight via an aggregation tree -------- #
+        machine_totals = [
+            float(state.local_weights(m.local_indices).sum()) if m.num_local else 0.0
+            for m in cluster.machines
+        ]
+        _, total_weight = cluster.aggregate_tree(
+            _COORDINATOR,
+            cost_model.coefficients(1),
+            state.fanout,
+            values=machine_totals,
+            combine=lambda a, b: (a or 0.0) + (b or 0.0),
+        )
+        total_weight = float(total_weight)
+        if total_weight <= 0:
+            raise IterationLimitError("all machine weights vanished; invalid state")
+        state.total_weight = total_weight
+
+        # -------- local sampling, shipped to the coordinator -------- #
+        cluster.begin_round()
+        sampled_indices: list[int] = []
+        for machine in cluster.machines:
+            if machine.num_local == 0:
+                continue
+            weights = state.local_weights(machine.local_indices)
+            share = float(weights.sum()) / total_weight
+            draws = int(
+                state.machine_rngs[machine.machine_id].binomial(
+                    sample_size, min(1.0, share)
+                )
+            )
+            draws = min(draws, machine.num_local)
+            if draws == 0:
+                continue
+            probabilities = weights / weights.sum()
+            chosen_positions = state.machine_rngs[machine.machine_id].choice(
+                machine.num_local, size=draws, replace=False, p=probabilities
+            )
+            chosen = machine.local_indices[chosen_positions]
+            sampled_indices.extend(int(i) for i in chosen)
+            if machine.machine_id != _COORDINATOR:
+                cluster.send(
+                    machine.machine_id,
+                    _COORDINATOR,
+                    cost_model.coefficients(draws * state.payload_coeffs),
+                )
+        cluster.end_round()
+        return np.asarray(sorted(set(sampled_indices)), dtype=int)
+
+
+class TreeImplicitSubstrate(WeightSubstrate):
+    """Basis broadcast plus violation-statistics aggregation, both via trees."""
+
+    def __init__(self, state: _MPCState) -> None:
+        self.state = state
+
+    def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
+        state = self.state
+        cluster = state.cluster
+        cost_model = state.cost_model
+
+        # -------- broadcast the basis through the tree -------- #
+        basis_bits = cost_model.coefficients(
+            (len(basis.indices) + 1) * state.payload_coeffs + state.problem.dimension
+        )
+        cluster.broadcast_tree(_COORDINATOR, basis_bits, state.fanout)
+
+        # -------- violation statistics via an aggregation tree -------- #
+        per_machine_stats = []
+        for machine in cluster.machines:
+            if machine.num_local == 0:
+                per_machine_stats.append((0.0, 0))
+                continue
+            weights = state.local_weights(machine.local_indices)
+            mask = state.oracle.mask(basis.witness, machine.local_indices)
+            per_machine_stats.append((float(weights[mask].sum()), int(mask.sum())))
+        _, aggregate = cluster.aggregate_tree(
+            _COORDINATOR,
+            cost_model.coefficients(2),
+            state.fanout,
+            values=per_machine_stats,
+            combine=lambda a, b: (
+                (a or (0.0, 0))[0] + (b or (0.0, 0))[0],
+                (a or (0.0, 0))[1] + (b or (0.0, 0))[1],
+            ),
+        )
+        violator_weight, violator_count = aggregate
+        fraction = (
+            violator_weight / state.total_weight if state.total_weight > 0 else 0.0
+        )
+        return ViolationStats(
+            num_violators=int(violator_count),
+            weight_fraction=float(fraction),
+            context=basis.witness,
+        )
+
+    def boost(self, stats: ViolationStats) -> None:
+        state = self.state
+        state.stored_witnesses.append(stats.context)
+        # The success flag rides along with the next basis broadcast; a
+        # dedicated one-counter broadcast keeps the accounting explicit.
+        state.cluster.broadcast_tree(
+            _COORDINATOR, state.cost_model.counters(1), state.fanout
+        )
 
 
 def mpc_clarkson_solve(
@@ -94,17 +263,14 @@ def mpc_clarkson_solve(
     params = replace(base_params, r=r)
     gen = as_generator(rng)
     n = problem.num_constraints
-    nu = problem.combinatorial_dimension
     cost_model = cost_model or BitCostModel()
 
     k = num_machines or machines_for_load(n, delta)
     if partition is None:
         partition = partition_indices(n, k, method="round_robin")
     cluster = MPCCluster(partition, cost_model=cost_model)
-    machine_rngs = spawn(gen, cluster.num_machines)
     fanout = max(2, int(math.ceil(n ** delta)))
     payload_coeffs = problem.payload_num_coefficients()
-    coordinator = 0
 
     sample_size, epsilon = resolve_sampling(problem, params)
 
@@ -114,7 +280,7 @@ def mpc_clarkson_solve(
             per_machine_bits = cost_model.coefficients(
                 max(m.num_local for m in cluster.machines) * payload_coeffs
             )
-            cluster.aggregate_tree(coordinator, per_machine_bits, fanout)
+            cluster.aggregate_tree(_COORDINATOR, per_machine_bits, fanout)
         result = solve_small_problem(problem)
         result.resources.rounds = cluster.rounds
         result.resources.max_machine_load_bits = cluster.max_load_bits
@@ -124,123 +290,29 @@ def mpc_clarkson_solve(
         return result
 
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
-    budget = params.max_iterations or (40 * nu * params.r + 40)
+    state = _MPCState(
+        problem=problem,
+        cluster=cluster,
+        oracle=ViolationOracle(problem),
+        boost=boost,
+        fanout=fanout,
+        cost_model=cost_model,
+        gen=gen,
+    )
+    engine = ClarksonEngine(
+        problem=problem,
+        sampler=TreeRoundSampling(state),
+        substrate=TreeImplicitSubstrate(state),
+        config=EngineConfig(
+            sample_size=sample_size,
+            epsilon=epsilon,
+            budget=iteration_budget(problem, params.r, params.max_iterations),
+            keep_trace=params.keep_trace,
+            name="MPC Clarkson",
+        ),
+    )
+    outcome = engine.run()
 
-    # Every machine stores the broadcast bases and derives its local weights
-    # from them (implicit weights, exactly as in the streaming driver).
-    stored_witnesses: list[object] = []
-
-    def local_weights(machine_indices: np.ndarray) -> np.ndarray:
-        exponents = np.zeros(machine_indices.size, dtype=float)
-        for witness in stored_witnesses:
-            violators = problem.violating_indices(witness, machine_indices)
-            positions = np.searchsorted(machine_indices, violators)
-            exponents[positions] += 1.0
-        reference = len(stored_witnesses)
-        return boost ** (exponents - reference)
-
-    trace: list[IterationRecord] = []
-    successful = 0
-    final_basis: BasisResult | None = None
-
-    for iteration in range(budget):
-        # -------- total weight via an aggregation tree -------- #
-        machine_totals = [
-            float(local_weights(m.local_indices).sum()) if m.num_local else 0.0
-            for m in cluster.machines
-        ]
-        _, total_weight = cluster.aggregate_tree(
-            coordinator,
-            cost_model.coefficients(1),
-            fanout,
-            values=machine_totals,
-            combine=lambda a, b: (a or 0.0) + (b or 0.0),
-        )
-        total_weight = float(total_weight)
-        if total_weight <= 0:
-            raise IterationLimitError("all machine weights vanished; invalid state")
-
-        # -------- local sampling, shipped to the coordinator -------- #
-        cluster.begin_round()
-        sampled_indices: list[int] = []
-        for machine in cluster.machines:
-            if machine.num_local == 0:
-                continue
-            weights = local_weights(machine.local_indices)
-            share = float(weights.sum()) / total_weight
-            draws = int(machine_rngs[machine.machine_id].binomial(sample_size, min(1.0, share)))
-            draws = min(draws, machine.num_local)
-            if draws == 0:
-                continue
-            probabilities = weights / weights.sum()
-            chosen_positions = machine_rngs[machine.machine_id].choice(
-                machine.num_local, size=draws, replace=False, p=probabilities
-            )
-            chosen = machine.local_indices[chosen_positions]
-            sampled_indices.extend(int(i) for i in chosen)
-            if machine.machine_id != coordinator:
-                cluster.send(
-                    machine.machine_id,
-                    coordinator,
-                    cost_model.coefficients(draws * payload_coeffs),
-                )
-        cluster.end_round()
-
-        basis = problem.solve_subset(sorted(set(sampled_indices)))
-
-        # -------- broadcast the basis through the tree -------- #
-        basis_bits = cost_model.coefficients(
-            (len(basis.indices) + 1) * payload_coeffs + problem.dimension
-        )
-        cluster.broadcast_tree(coordinator, basis_bits, fanout)
-
-        # -------- violation statistics via an aggregation tree -------- #
-        per_machine_stats = []
-        for machine in cluster.machines:
-            if machine.num_local == 0:
-                per_machine_stats.append((0.0, 0))
-                continue
-            weights = local_weights(machine.local_indices)
-            violators = problem.violating_indices(basis.witness, machine.local_indices)
-            positions = np.searchsorted(machine.local_indices, violators)
-            per_machine_stats.append((float(weights[positions].sum()), int(violators.size)))
-        _, aggregate = cluster.aggregate_tree(
-            coordinator,
-            cost_model.coefficients(2),
-            fanout,
-            values=per_machine_stats,
-            combine=lambda a, b: ((a or (0.0, 0))[0] + (b or (0.0, 0))[0], (a or (0.0, 0))[1] + (b or (0.0, 0))[1]),
-        )
-        violator_weight, violator_count = aggregate
-
-        fraction = violator_weight / total_weight if total_weight > 0 else 0.0
-        success = fraction <= epsilon
-        if params.keep_trace:
-            trace.append(
-                IterationRecord(
-                    iteration=iteration,
-                    sample_size=len(set(sampled_indices)),
-                    num_violators=int(violator_count),
-                    violator_weight_fraction=float(fraction),
-                    successful=success,
-                    basis_indices=basis.indices,
-                )
-            )
-        if violator_count == 0:
-            final_basis = basis
-            break
-        if success:
-            stored_witnesses.append(basis.witness)
-            successful += 1
-            # The success flag rides along with the next basis broadcast; a
-            # dedicated one-counter broadcast keeps the accounting explicit.
-            cluster.broadcast_tree(coordinator, cost_model.counters(1), fanout)
-    else:
-        raise IterationLimitError(
-            f"MPC Clarkson did not terminate within {budget} iterations"
-        )
-
-    assert final_basis is not None
     resources = ResourceUsage(
         rounds=cluster.rounds,
         max_machine_load_bits=cluster.max_load_bits,
@@ -248,13 +320,13 @@ def mpc_clarkson_solve(
         machine_count=cluster.num_machines,
     )
     return SolveResult(
-        value=final_basis.value,
-        witness=final_basis.witness,
-        basis_indices=final_basis.indices,
-        iterations=len(trace) if params.keep_trace else 0,
-        successful_iterations=successful,
+        value=outcome.basis.value,
+        witness=outcome.basis.witness,
+        basis_indices=outcome.basis.indices,
+        iterations=outcome.iterations,
+        successful_iterations=outcome.successful_iterations,
         resources=resources,
-        trace=trace,
+        trace=outcome.trace,
         metadata={
             "algorithm": "mpc_clarkson",
             "delta": delta,

@@ -8,6 +8,18 @@ from .clarkson import (
     resolve_sampling,
     solve_small_problem,
 )
+from .engine import (
+    ClarksonEngine,
+    EngineConfig,
+    EngineOutcome,
+    ExplicitWeightSubstrate,
+    InMemorySampling,
+    SamplingStrategy,
+    ViolationOracle,
+    ViolationStats,
+    WeightSubstrate,
+    iteration_budget,
+)
 from .epsnet import EpsNetSpec, algorithm_epsilon, epsnet_sample_size, is_eps_net
 from .exceptions import (
     CommunicationError,
@@ -42,6 +54,16 @@ __all__ = [
     "practical_parameters",
     "resolve_sampling",
     "solve_small_problem",
+    "ClarksonEngine",
+    "EngineConfig",
+    "EngineOutcome",
+    "ExplicitWeightSubstrate",
+    "InMemorySampling",
+    "SamplingStrategy",
+    "ViolationOracle",
+    "ViolationStats",
+    "WeightSubstrate",
+    "iteration_budget",
     "EpsNetSpec",
     "algorithm_epsilon",
     "epsnet_sample_size",

@@ -1,12 +1,13 @@
 """Sequential reference implementation of the meta-algorithm (Algorithm 1).
 
-This is the in-memory version of the paper's Algorithm 1: Clarkson's
-iterative reweighting scheme driven by eps-net sampling with weight boost
-``n^{1/r}``.  The streaming, coordinator and MPC drivers in
-``repro.algorithms`` re-implement the same loop on top of their respective
-substrates; this module is the ground truth the others are tested against
-and is also the natural entry point for users who just want to solve an
-LP-type problem on one machine with sub-linear working memory.
+This is the in-memory binding of the shared :class:`~repro.core.engine.ClarksonEngine`:
+Clarkson's iterative reweighting scheme driven by eps-net sampling with
+weight boost ``n^{1/r}``, with the weights held as an explicit vector and the
+sample drawn directly from it.  The streaming, coordinator and MPC drivers in
+``repro.algorithms`` bind the *same* engine onto their model substrates; this
+module is the ground truth the others are tested against and is also the
+natural entry point for users who just want to solve an LP-type problem on
+one machine with sub-linear working memory.
 """
 
 from __future__ import annotations
@@ -14,14 +15,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
+from .engine import (
+    ClarksonEngine,
+    EngineConfig,
+    ExplicitWeightSubstrate,
+    InMemorySampling,
+    iteration_budget,
+)
 from .epsnet import EpsNetSpec
-from .exceptions import IterationLimitError
-from .lptype import BasisResult, LPTypeProblem
-from .result import IterationRecord, ResourceUsage, SolveResult
+from .lptype import LPTypeProblem
+from .result import ResourceUsage, SolveResult
 from .rng import SeedLike, as_generator
-from .sampling import weighted_sample_without_replacement
 from .weights import ExplicitWeights, boost_factor
 
 __all__ = [
@@ -77,11 +81,6 @@ class ClarksonParameters:
     keep_trace: bool = True
     sample_size: Optional[int] = None
     success_threshold: Optional[float] = None
-
-
-def _default_iteration_budget(problem: LPTypeProblem, r: int) -> int:
-    """Generous version of the O(nu * r) bound of Lemma 3.3."""
-    return 40 * problem.combinatorial_dimension * r + 40
 
 
 def resolve_sampling(
@@ -195,7 +194,6 @@ def clarkson_solve(
     params = params or ClarksonParameters()
     gen = as_generator(rng)
     n = problem.num_constraints
-    nu = problem.combinatorial_dimension
 
     if n == 0:
         raise ValueError("problem has no constraints")
@@ -209,59 +207,29 @@ def clarkson_solve(
 
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
     weights = ExplicitWeights.uniform(n, boost)
-    budget = params.max_iterations or _default_iteration_budget(problem, params.r)
+    substrate = ExplicitWeightSubstrate(problem, weights)
+    engine = ClarksonEngine(
+        problem=problem,
+        sampler=InMemorySampling(weights, gen),
+        substrate=substrate,
+        config=EngineConfig(
+            sample_size=sample_size,
+            epsilon=epsilon,
+            budget=iteration_budget(problem, params.r, params.max_iterations),
+            keep_trace=params.keep_trace,
+            name="Algorithm 1",
+        ),
+    )
+    outcome = engine.run()
 
-    trace: list[IterationRecord] = []
-    successful = 0
-    peak_items = 0
-    all_indices = problem.all_indices()
-
-    final_basis: BasisResult | None = None
-    iteration = 0
-    for iteration in range(budget):
-        sample = weighted_sample_without_replacement(
-            weights.weights(), sample_size, rng=gen
-        )
-        basis = problem.solve_subset(sample)
-        violators = problem.violating_indices(basis.witness, all_indices)
-        peak_items = max(peak_items, len(sample) + (successful + 1) * nu)
-
-        fraction = weights.fraction(violators)
-        success = fraction <= epsilon
-        if params.keep_trace:
-            trace.append(
-                IterationRecord(
-                    iteration=iteration,
-                    sample_size=len(sample),
-                    num_violators=int(violators.size),
-                    violator_weight_fraction=float(fraction),
-                    successful=success,
-                    basis_indices=basis.indices,
-                )
-            )
-        if violators.size == 0:
-            final_basis = basis
-            iteration += 1
-            break
-        if success:
-            weights.multiply(violators)
-            successful += 1
-    else:
-        raise IterationLimitError(
-            f"Algorithm 1 did not terminate within {budget} iterations "
-            f"(n={n}, r={params.r}); this is astronomically unlikely for a "
-            "correct problem implementation"
-        )
-
-    assert final_basis is not None
     return SolveResult(
-        value=final_basis.value,
-        witness=final_basis.witness,
-        basis_indices=final_basis.indices,
-        iterations=iteration,
-        successful_iterations=successful,
-        resources=ResourceUsage(space_peak_items=peak_items),
-        trace=trace,
+        value=outcome.basis.value,
+        witness=outcome.basis.witness,
+        basis_indices=outcome.basis.indices,
+        iterations=outcome.iterations,
+        successful_iterations=outcome.successful_iterations,
+        resources=ResourceUsage(space_peak_items=substrate.peak_items),
+        trace=outcome.trace,
         metadata={
             "algorithm": "clarkson_sequential",
             "r": params.r,

@@ -1,0 +1,291 @@
+"""The model-agnostic Clarkson iteration engine (Algorithm 1).
+
+The paper's central observation is that ONE meta-algorithm — Clarkson-style
+iterative reweighting with an ``n^{1/r}`` boost — instantiates in the
+sequential, multi-pass streaming, coordinator, and MPC models; only the
+*substrate* (how a weighted sample is drawn and how constraint weights are
+represented) changes between models.  This module owns that shared loop::
+
+    repeat:
+        sample  <- draw ~n^{1/r} constraints proportionally to their weights
+        basis   <- solve the LP-type problem on the sample
+        V       <- constraints violating the basis witness
+        if V is empty:            terminate with the basis
+        if w(V) <= eps * w(S):    multiply the weights of V by n^{1/r}
+
+and delegates everything model-specific to three narrow strategy interfaces:
+
+* :class:`SamplingStrategy` — how one weighted eps-net sample is obtained
+  (in-memory weighted draw, a reservoir pass over a stream, a multinomial
+  split across coordinator sites, or MPC tree rounds);
+* :class:`WeightSubstrate` — how the weights live (an explicit vector, or
+  implicitly as the stored bases of successful iterations) and how the
+  success test ``w(V)/w(S) <= eps`` is measured;
+* :class:`ViolationOracle` — vectorised violation tests against one
+  problem, so no strategy ever calls ``problem.violates`` in a Python loop.
+
+The four drivers (``repro.core.clarkson`` and ``repro.algorithms.*``) are
+thin bindings of model substrates onto this engine; their pass/round/
+communication accounting happens inside their strategy objects, so the
+engine itself never needs to know which model it is running in.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from .exceptions import IterationLimitError
+from .lptype import BasisResult, LPTypeProblem
+from .result import IterationRecord
+from .sampling import weighted_sample_without_replacement
+from .weights import ExplicitWeights
+
+__all__ = [
+    "ViolationOracle",
+    "ViolationStats",
+    "SamplingStrategy",
+    "WeightSubstrate",
+    "EngineConfig",
+    "EngineOutcome",
+    "ClarksonEngine",
+    "InMemorySampling",
+    "ExplicitWeightSubstrate",
+    "iteration_budget",
+]
+
+
+def iteration_budget(problem: LPTypeProblem, r: int, max_iterations: Optional[int]) -> int:
+    """Iteration budget shared by all four drivers.
+
+    A positive ``max_iterations`` wins; ``None`` (and non-positive values,
+    matching the historical ``max_iterations or default`` driver behaviour)
+    falls back to a generous version of the ``O(nu * r)`` bound of Lemma 3.3.
+    """
+    if max_iterations:
+        return int(max_iterations)
+    return 40 * problem.combinatorial_dimension * r + 40
+
+
+class ViolationOracle:
+    """Vectorised violation tests against one LP-type problem.
+
+    A thin adapter over the batch methods of :class:`LPTypeProblem` so that
+    strategies and drivers have a single place to ask "which of these
+    constraints violate this witness?" and "how many of these witnesses does
+    each constraint violate?" without scalar ``violates`` loops.
+    """
+
+    def __init__(self, problem: LPTypeProblem) -> None:
+        self.problem = problem
+
+    def mask(self, witness: Any, indices: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``indices``: which constraints violate ``witness``."""
+        return self.problem.violation_mask(witness, indices)
+
+    def violating(self, witness: Any, indices: np.ndarray) -> np.ndarray:
+        """Violating indices among ``indices`` (ascending)."""
+        return self.problem.violating_indices(witness, indices)
+
+    def count_matrix(self, witnesses: Sequence[Any], indices: np.ndarray) -> np.ndarray:
+        """Per-constraint count of violated witnesses (implicit-weight exponents)."""
+        return self.problem.violation_count_matrix(witnesses, indices)
+
+
+@dataclass(frozen=True)
+class ViolationStats:
+    """Outcome of the per-iteration violation measurement (success test input).
+
+    ``context`` is an opaque, model-specific payload carried from
+    :meth:`WeightSubstrate.measure` to :meth:`WeightSubstrate.boost` (e.g.
+    the violator index array for explicit weights, or the per-site violator
+    positions in the coordinator model).
+    """
+
+    num_violators: int
+    weight_fraction: float
+    context: Any = None
+
+
+class SamplingStrategy(abc.ABC):
+    """Draws one weighted eps-net sample per iteration.
+
+    Implementations perform whatever model bookkeeping the draw costs (a
+    streaming pass, two coordinator rounds, MPC tree rounds, ...) as a side
+    effect; the engine only sees the resulting index array.
+    """
+
+    @abc.abstractmethod
+    def draw(self, sample_size: int) -> np.ndarray:
+        """Return distinct constraint indices sampled proportionally to weight."""
+
+
+class WeightSubstrate(abc.ABC):
+    """Represents the constraint weights and the Algorithm 1 success test."""
+
+    @abc.abstractmethod
+    def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
+        """Measure the violators of ``basis`` and their weight fraction.
+
+        Implementations account the model cost of the measurement (the
+        verification pass / violation round / aggregation trees) and may
+        stash model-specific state in :attr:`ViolationStats.context`.
+        """
+
+    @abc.abstractmethod
+    def boost(self, stats: ViolationStats) -> None:
+        """Apply the ``n^{1/r}`` boost to the violators of a successful iteration."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Resolved per-run parameters of the engine loop.
+
+    ``sample_size`` and ``epsilon`` come from
+    :func:`repro.core.clarkson.resolve_sampling`, ``budget`` from
+    :func:`iteration_budget`; the drivers resolve them once so that all four
+    models agree on the sampling regime.
+    """
+
+    sample_size: int
+    epsilon: float
+    budget: int
+    keep_trace: bool = True
+    name: str = "clarkson"
+
+
+@dataclass
+class EngineOutcome:
+    """What the engine loop produced: the final basis plus the iteration story."""
+
+    basis: BasisResult
+    iterations: int
+    successful_iterations: int
+    trace: list[IterationRecord] = field(default_factory=list)
+
+
+class ClarksonEngine:
+    """Owns the Algorithm 1 loop; model behaviour is injected via strategies.
+
+    The engine guarantees identical iteration semantics across models: the
+    same success test, the same trace records, the same termination rule
+    (empty violator set) and the same budget handling.  Resource accounting
+    is entirely the strategies' business.
+    """
+
+    def __init__(
+        self,
+        problem: LPTypeProblem,
+        sampler: SamplingStrategy,
+        substrate: WeightSubstrate,
+        config: EngineConfig,
+    ) -> None:
+        self.problem = problem
+        self.sampler = sampler
+        self.substrate = substrate
+        self.config = config
+
+    def run(self) -> EngineOutcome:
+        config = self.config
+        trace: list[IterationRecord] = []
+        successful = 0
+        final_basis: BasisResult | None = None
+        iterations = 0
+
+        for iteration in range(config.budget):
+            sample = self.sampler.draw(config.sample_size)
+            basis = self.problem.solve_subset(sample)
+            stats = self.substrate.measure(sample, basis)
+            success = stats.weight_fraction <= config.epsilon
+            if config.keep_trace:
+                trace.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        sample_size=int(len(sample)),
+                        num_violators=int(stats.num_violators),
+                        violator_weight_fraction=float(stats.weight_fraction),
+                        successful=success,
+                        basis_indices=basis.indices,
+                    )
+                )
+            if stats.num_violators == 0:
+                final_basis = basis
+                iterations = iteration + 1
+                break
+            if success:
+                self.substrate.boost(stats)
+                successful += 1
+        else:
+            raise IterationLimitError(
+                f"{config.name} did not terminate within {config.budget} iterations "
+                f"(n={self.problem.num_constraints}); this is astronomically "
+                "unlikely for a correct problem implementation"
+            )
+
+        assert final_basis is not None
+        return EngineOutcome(
+            basis=final_basis,
+            iterations=iterations,
+            successful_iterations=successful,
+            trace=trace,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# The in-memory (sequential) binding, used by ``repro.core.clarkson`` and
+# as the reference implementation of the strategy interfaces.
+# ---------------------------------------------------------------------- #
+
+
+class InMemorySampling(SamplingStrategy):
+    """Weighted draw without replacement from an explicit weight vector."""
+
+    def __init__(self, weights: ExplicitWeights, rng: np.random.Generator) -> None:
+        self.weights = weights
+        self.rng = rng
+
+    def draw(self, sample_size: int) -> np.ndarray:
+        return weighted_sample_without_replacement(
+            self.weights.weights(), sample_size, rng=self.rng
+        )
+
+
+class ExplicitWeightSubstrate(WeightSubstrate):
+    """Explicit weight vector over all constraints (the sequential substrate).
+
+    Also tracks the peak number of constraints materialised at once (the
+    sample plus the stored bases), which is what Theorem 1 bounds for the
+    sequential reference implementation.
+    """
+
+    def __init__(
+        self,
+        problem: LPTypeProblem,
+        weights: ExplicitWeights,
+        oracle: ViolationOracle | None = None,
+    ) -> None:
+        self.problem = problem
+        self.weights = weights
+        self.oracle = oracle or ViolationOracle(problem)
+        self._all_indices = problem.all_indices()
+        self._boosts = 0
+        self.peak_items = 0
+
+    def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
+        violators = self.oracle.violating(basis.witness, self._all_indices)
+        self.peak_items = max(
+            self.peak_items,
+            len(sample) + (self._boosts + 1) * self.problem.combinatorial_dimension,
+        )
+        return ViolationStats(
+            num_violators=int(violators.size),
+            weight_fraction=self.weights.fraction(violators),
+            context=violators,
+        )
+
+    def boost(self, stats: ViolationStats) -> None:
+        self.weights.multiply(stats.context)
+        self._boosts += 1

@@ -27,7 +27,20 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["BasisResult", "LPTypeProblem", "check_monotonicity", "check_locality"]
+__all__ = [
+    "BasisResult",
+    "LPTypeProblem",
+    "as_index_array",
+    "check_monotonicity",
+    "check_locality",
+]
+
+
+def as_index_array(indices: Iterable[int]) -> np.ndarray:
+    """Coerce any iterable of constraint indices to a 1-d int array."""
+    if isinstance(indices, np.ndarray):
+        return indices.astype(int, copy=False).reshape(-1)
+    return np.asarray(list(indices), dtype=int).reshape(-1)
 
 
 @dataclass(frozen=True)
@@ -127,10 +140,46 @@ class LPTypeProblem(abc.ABC):
     # Derived helpers (overridable for vectorised implementations)
     # ------------------------------------------------------------------ #
 
+    def violation_mask(self, witness: Any, indices: Iterable[int]) -> np.ndarray:
+        """Boolean mask over ``indices``: entry ``j`` is ``True`` iff
+        ``indices[j]`` is violated at ``witness``.
+
+        The default falls back to scalar :meth:`violates` calls; concrete
+        problems override with a truly vectorised implementation — this is
+        the hot path of every driver's success test.
+        """
+        idx = as_index_array(indices)
+        if idx.size == 0:
+            return np.zeros(0, dtype=bool)
+        return np.fromiter(
+            (self.violates(witness, int(i)) for i in idx), dtype=bool, count=idx.size
+        )
+
+    def violation_count_matrix(
+        self, witnesses: Sequence[Any], indices: Iterable[int]
+    ) -> np.ndarray:
+        """For each of ``indices``, the number of ``witnesses`` it violates.
+
+        This is the implicit-weight exponent ``a_i`` of Section 3.2: the
+        streaming and MPC substrates derive the weight of constraint ``i``
+        as ``boost ** a_i`` from the stored bases of successful iterations.
+        The default stacks :meth:`violation_mask` calls (one per witness);
+        concrete problems override with a single matrix evaluation.
+        """
+        idx = as_index_array(indices)
+        counts = np.zeros(idx.size, dtype=np.int64)
+        for witness in witnesses:
+            if witness is None:
+                continue
+            counts += self.violation_mask(witness, idx)
+        return counts
+
     def violating_indices(self, witness: Any, indices: Iterable[int]) -> np.ndarray:
         """Indices among ``indices`` violated at ``witness`` (ascending order)."""
-        out = [int(i) for i in indices if self.violates(witness, int(i))]
-        return np.asarray(sorted(out), dtype=int)
+        idx = as_index_array(indices)
+        if idx.size == 0:
+            return np.empty(0, dtype=int)
+        return np.sort(idx[self.violation_mask(witness, idx)])
 
     def all_indices(self) -> np.ndarray:
         """``[0, 1, ..., n-1]`` as an array."""

@@ -19,6 +19,7 @@ thin and the statistical behaviour can be unit-tested in one place.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -28,12 +29,21 @@ from .rng import SeedLike, as_generator
 
 __all__ = [
     "normalise_weights",
+    "exponential_keys",
     "weighted_sample_with_replacement",
     "weighted_sample_without_replacement",
     "multinomial_split",
     "WeightedReservoirSampler",
     "ExponentialKeyReservoir",
+    "stream_weighted_sample",
+    "iter_chunks",
 ]
+
+#: Smallest positive double: ``Generator.random`` draws from ``[0, 1)`` and
+#: can return exactly 0.0, whose logarithm would produce a degenerate
+#: ``-inf`` exponential key.  Uniform draws are clamped to this value, which
+#: changes no probability by more than 2^-53.
+_TINY_UNIFORM = float(np.nextafter(0.0, 1.0))
 
 
 def normalise_weights(weights: Sequence[float] | np.ndarray) -> np.ndarray:
@@ -70,6 +80,23 @@ def weighted_sample_with_replacement(
     return gen.choice(len(probs), size=size, replace=True, p=probs)
 
 
+def exponential_keys(
+    weights: Sequence[float] | np.ndarray,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Batch Efraimidis-Spirakis keys ``log(u_i) / w_i`` for positive weights.
+
+    Consumes exactly one uniform per weight, in order, so a stream processed
+    in chunks draws the same keys as a single batch evaluation (and as the
+    one-at-a-time :class:`ExponentialKeyReservoir`).  The ``size`` largest
+    keys form a weighted sample without replacement.
+    """
+    gen = as_generator(rng)
+    arr = np.asarray(weights, dtype=float)
+    log_u = np.log(np.maximum(gen.random(arr.size), _TINY_UNIFORM))
+    return log_u / arr
+
+
 def weighted_sample_without_replacement(
     weights: Sequence[float] | np.ndarray,
     size: int,
@@ -94,8 +121,7 @@ def weighted_sample_without_replacement(
     if size == 0:
         return np.empty(0, dtype=int)
     # Keys in log-space for numerical stability: log(u) / w.
-    log_u = np.log(gen.random(positive.size))
-    keys = log_u / arr[positive]
+    keys = exponential_keys(arr[positive], rng=gen)
     chosen = positive[np.argsort(keys)[::-1][:size]]
     return np.sort(chosen)
 
@@ -161,12 +187,16 @@ class ExponentialKeyReservoir:
     Produces a weighted sample *without* replacement in a single pass.  Used
     by the streaming driver when distinct samples are preferred (the eps-net
     guarantee only improves when duplicates are removed).
+
+    The reservoir is a min-heap on the exponential keys, so each offer costs
+    ``O(log capacity)`` (an offer that does not beat the current minimum is
+    ``O(1)``) instead of the ``O(capacity)`` of a linear minimum scan.
     """
 
     capacity: int
     rng: np.random.Generator
-    _keys: list[float] = field(default_factory=list)
-    _items: list[object] = field(default_factory=list)
+    # Heap of (key, tiebreak, item); the root is the smallest (worst) key.
+    _heap: list[tuple[float, int, object]] = field(default_factory=list)
     items_seen: int = 0
 
     @classmethod
@@ -182,22 +212,20 @@ class ExponentialKeyReservoir:
         self.items_seen += 1
         if weight == 0:
             return
-        key = np.log(self.rng.random()) / weight
-        if len(self._keys) < self.capacity:
-            self._keys.append(key)
-            self._items.append(item)
+        u = max(self.rng.random(), _TINY_UNIFORM)
+        key = np.log(u) / weight
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, (key, self.items_seen, item))
             return
-        worst = int(np.argmin(self._keys))
-        if key > self._keys[worst]:
-            self._keys[worst] = key
-            self._items[worst] = item
+        if key > self._heap[0][0]:
+            heapq.heapreplace(self._heap, (key, self.items_seen, item))
 
     def sample(self) -> list[object]:
         """Return the current sample (up to ``capacity`` items)."""
-        return list(self._items)
+        return [item for _, _, item in self._heap]
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._heap)
 
 
 def stream_weighted_sample(

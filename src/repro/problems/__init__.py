@@ -1,8 +1,8 @@
-"""Concrete LP-type problems: linear programming, linear SVM, and MEB."""
+"""Concrete LP-type problems: LP, linear SVM, MEB, and generic convex QP."""
 
 from .linear_program import DEFAULT_BOX_BOUND, LexicographicValue, LinearProgram
 from .meb import Ball, MEBValue, MinimumEnclosingBall, badoiu_clarkson_meb
-from .qp import QPSolution, minimize_convex_qp
+from .qp import ConvexQuadraticProgram, QPSolution, QPValue, minimize_convex_qp
 from .seidel import SeidelResult, seidel_solve
 from .solvers import LPSolution, lexicographic_minimum, solve_lp
 from .svm import LinearSVM, SVMValue
@@ -15,7 +15,9 @@ __all__ = [
     "MEBValue",
     "MinimumEnclosingBall",
     "badoiu_clarkson_meb",
+    "ConvexQuadraticProgram",
     "QPSolution",
+    "QPValue",
     "minimize_convex_qp",
     "SeidelResult",
     "seidel_solve",

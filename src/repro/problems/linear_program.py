@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.exceptions import InfeasibleProblemError, InvalidInstanceError
-from ..core.lptype import BasisResult, LPTypeProblem
+from ..core.lptype import BasisResult, LPTypeProblem, as_index_array
 from .seidel import seidel_solve
 from .solvers import DEFAULT_TOLERANCE, lexicographic_minimum, solve_lp
 
@@ -204,16 +204,28 @@ class LinearProgram(LPTypeProblem):
         scale = max(1.0, float(np.abs(row).max()), abs(float(self.b[index])))
         return slack > self.tolerance * scale + self.tolerance
 
-    def violating_indices(self, witness, indices) -> np.ndarray:
-        idx = np.asarray(list(indices), dtype=int)
+    def violation_mask(self, witness, indices) -> np.ndarray:
+        idx = as_index_array(indices)
         if witness is None or idx.size == 0:
-            return np.empty(0, dtype=int)
+            return np.zeros(idx.size, dtype=bool)
         rows = self.a[idx]
         rhs = self.b[idx]
         slack = rows @ np.asarray(witness, dtype=float) - rhs
         scale = np.maximum(1.0, np.maximum(np.abs(rows).max(axis=1), np.abs(rhs)))
-        mask = slack > self.tolerance * scale + self.tolerance
-        return np.sort(idx[mask])
+        return slack > self.tolerance * scale + self.tolerance
+
+    def violation_count_matrix(self, witnesses, indices) -> np.ndarray:
+        idx = as_index_array(indices)
+        points = [w for w in witnesses if w is not None]
+        if not points or idx.size == 0:
+            return np.zeros(idx.size, dtype=np.int64)
+        rows = self.a[idx]
+        rhs = self.b[idx]
+        # slack[i, t] = a_i . x_t - b_i for witness t, all in one product.
+        slack = rows @ np.asarray(points, dtype=float).T - rhs[:, None]
+        scale = np.maximum(1.0, np.maximum(np.abs(rows).max(axis=1), np.abs(rhs)))
+        limit = (self.tolerance * scale + self.tolerance)[:, None]
+        return (slack > limit).sum(axis=1).astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Internals

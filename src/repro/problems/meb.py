@@ -28,7 +28,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.exceptions import InvalidInstanceError
-from ..core.lptype import BasisResult, LPTypeProblem
+from ..core.lptype import BasisResult, LPTypeProblem, as_index_array
 from ..core.rng import SeedLike, as_generator
 from .qp import minimize_convex_qp
 
@@ -149,14 +149,33 @@ class MinimumEnclosingBall(LPTypeProblem):
             return False
         return not witness.contains(self.points[index], tolerance=self.tolerance)
 
-    def violating_indices(self, witness, indices) -> np.ndarray:
-        idx = np.asarray(list(indices), dtype=int)
+    def violation_mask(self, witness, indices) -> np.ndarray:
+        idx = as_index_array(indices)
         if witness is None or idx.size == 0:
-            return np.empty(0, dtype=int)
+            return np.zeros(idx.size, dtype=bool)
         diffs = self.points[idx] - witness.center
         distances = np.linalg.norm(diffs, axis=1)
         limit = witness.radius + self.tolerance * max(1.0, witness.radius)
-        return np.sort(idx[distances > limit])
+        return distances > limit
+
+    def violation_count_matrix(self, witnesses, indices) -> np.ndarray:
+        idx = as_index_array(indices)
+        balls = [w for w in witnesses if w is not None]
+        if not balls or idx.size == 0:
+            return np.zeros(idx.size, dtype=np.int64)
+        centers = np.stack([ball.center for ball in balls])
+        radii = np.asarray([ball.radius for ball in balls], dtype=float)
+        # Squared distances point-to-center for all (constraint, ball) pairs
+        # via the expansion ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2.
+        pts = self.points[idx]
+        sq = (
+            self._squared_norms[idx][:, None]
+            - 2.0 * pts @ centers.T
+            + np.einsum("ij,ij->i", centers, centers)[None, :]
+        )
+        limits = radii + self.tolerance * np.maximum(1.0, radii)
+        mask = sq > (limits * limits)[None, :]
+        return mask.sum(axis=1).astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Internals

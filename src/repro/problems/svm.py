@@ -23,7 +23,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.exceptions import InfeasibleProblemError, InvalidInstanceError
-from ..core.lptype import BasisResult, LPTypeProblem
+from ..core.lptype import BasisResult, LPTypeProblem, as_index_array
 from .qp import minimize_convex_qp
 
 __all__ = ["SVMValue", "LinearSVM"]
@@ -154,12 +154,21 @@ class LinearSVM(LPTypeProblem):
         margin = float(self._signed[index] @ witness)
         return margin < 1.0 - self.tolerance
 
-    def violating_indices(self, witness, indices) -> np.ndarray:
-        idx = np.asarray(list(indices), dtype=int)
+    def violation_mask(self, witness, indices) -> np.ndarray:
+        idx = as_index_array(indices)
         if witness is None or idx.size == 0:
-            return np.empty(0, dtype=int)
+            return np.zeros(idx.size, dtype=bool)
         margins = self._signed[idx] @ np.asarray(witness, dtype=float)
-        return np.sort(idx[margins < 1.0 - self.tolerance])
+        return margins < 1.0 - self.tolerance
+
+    def violation_count_matrix(self, witnesses, indices) -> np.ndarray:
+        idx = as_index_array(indices)
+        points = [w for w in witnesses if w is not None]
+        if not points or idx.size == 0:
+            return np.zeros(idx.size, dtype=np.int64)
+        # margins[i, t] = y_i <u_t, x_i> for all stored hyperplanes at once.
+        margins = self._signed[idx] @ np.asarray(points, dtype=float).T
+        return (margins < 1.0 - self.tolerance).sum(axis=1).astype(np.int64)
 
     # ------------------------------------------------------------------ #
     # Internals & convenience

@@ -167,6 +167,83 @@ class TestExponentialKeyReservoir:
         assert hits > 270
 
 
+class _ZeroUniformGenerator(np.random.Generator):
+    """A generator whose uniform draws are exactly 0.0 (the degenerate edge).
+
+    ``Generator.random`` draws from the half-open interval ``[0, 1)``, so 0.0
+    is a legal (if astronomically rare) return value; without clamping it
+    maps to a ``-inf`` exponential key.
+    """
+
+    def __init__(self):
+        super().__init__(np.random.PCG64(0))
+
+    def random(self, size=None, dtype=np.float64, out=None):
+        if size is None:
+            return 0.0
+        return np.zeros(size, dtype=dtype)
+
+
+class TestZeroUniformRegression:
+    def test_reservoir_keys_stay_finite(self):
+        reservoir = ExponentialKeyReservoir(capacity=3, rng=_ZeroUniformGenerator())
+        for i in range(10):
+            reservoir.offer(i, 1.0 + i)
+        assert len(reservoir) == 3
+        assert all(np.isfinite(key) for key, _, _ in reservoir._heap)
+
+    def test_reservoir_prefers_heavy_items_even_at_zero(self):
+        # With the clamp, key = log(tiny)/w is monotone in w, so the heaviest
+        # items must win; with -inf keys the sample would be arbitrary.
+        reservoir = ExponentialKeyReservoir(capacity=2, rng=_ZeroUniformGenerator())
+        weights = [1.0, 1000.0, 2.0, 500.0, 3.0]
+        for i, w in enumerate(weights):
+            reservoir.offer(i, w)
+        assert sorted(reservoir.sample()) == [1, 3]
+
+    def test_batch_sampler_prefers_heavy_items_even_at_zero(self):
+        idx = weighted_sample_without_replacement(
+            [1.0, 1000.0, 2.0, 500.0, 3.0], 2, rng=_ZeroUniformGenerator()
+        )
+        assert sorted(idx.tolist()) == [1, 3]
+
+    def test_batch_sampler_keys_finite_for_all_zero_draws(self):
+        # Must not warn (log of zero) and must return a valid distinct sample.
+        with np.errstate(divide="raise"):
+            idx = weighted_sample_without_replacement(
+                np.ones(20), 5, rng=_ZeroUniformGenerator()
+            )
+        assert len(set(idx.tolist())) == 5
+
+
+class TestReservoirHeap:
+    def test_matches_batch_sampler_on_same_randomness(self):
+        """The heap reservoir consumes one uniform per positive-weight item in
+        stream order, exactly like the batch Efraimidis-Spirakis sampler, so
+        the two must produce the same sample from the same seed."""
+        rng = np.random.default_rng(90)
+        weights = rng.uniform(0.1, 10.0, size=200)
+        reservoir = ExponentialKeyReservoir.create(12, rng=np.random.default_rng(7))
+        for i, w in enumerate(weights):
+            reservoir.offer(i, float(w))
+        batch = weighted_sample_without_replacement(
+            weights, 12, rng=np.random.default_rng(7)
+        )
+        assert sorted(reservoir.sample()) == sorted(batch.tolist())
+
+    def test_heap_holds_top_keys(self):
+        # The reservoir consumes one uniform per offered item, so the keys it
+        # saw can be recomputed independently from the same seed; the sample
+        # must be exactly the argmax-5 of those keys.
+        weights = np.linspace(0.5, 4.0, 100)
+        reservoir = ExponentialKeyReservoir.create(5, rng=np.random.default_rng(3))
+        for i, w in enumerate(weights):
+            reservoir.offer(i, float(w))
+        keys = np.log(np.random.default_rng(3).random(100)) / weights
+        expected = set(np.argsort(keys)[::-1][:5].tolist())
+        assert set(reservoir.sample()) == expected
+
+
 class TestStreamWeightedSample:
     def test_with_replacement_size(self):
         stream = [(i, 1.0) for i in range(50)]

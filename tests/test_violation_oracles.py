@@ -1,0 +1,147 @@
+"""Vectorised violation oracles agree with the scalar reference tests.
+
+Every concrete problem overrides ``violation_mask`` / ``violation_count_matrix``
+with a NumPy implementation; these tests pin the overrides to the scalar
+``violates`` semantics (including tolerance scaling) and exercise the default
+fallback path of :class:`LPTypeProblem` for a problem that does not override.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lptype import BasisResult, LPTypeProblem, as_index_array
+from repro.problems import ConvexQuadraticProgram, MinimumEnclosingBall
+from repro.workloads import (
+    make_separable_classification,
+    random_feasible_lp,
+    svm_problem,
+    uniform_ball_points,
+)
+
+
+def _lp():
+    return random_feasible_lp(300, 2, seed=41).problem
+
+
+def _meb():
+    return MinimumEnclosingBall(points=uniform_ball_points(300, 3, radius=2.0, seed=42))
+
+
+def _svm():
+    return svm_problem(make_separable_classification(300, 2, seed=43, margin=0.3))
+
+
+def _qp():
+    rng = np.random.default_rng(44)
+    g = rng.normal(size=(300, 2))
+    h = rng.uniform(-3.0, 0.5, size=300)
+    return ConvexQuadraticProgram(
+        q_matrix=np.eye(2) * 2.0, q_vector=np.zeros(2), g_matrix=g, h_vector=h
+    )
+
+
+PROBLEMS = [_lp, _meb, _svm, _qp]
+IDS = ["lp", "meb", "svm", "qp"]
+
+
+def _witnesses(problem, count=4):
+    rng = np.random.default_rng(7)
+    out = []
+    for _ in range(count):
+        subset = rng.choice(problem.num_constraints, size=25, replace=False)
+        out.append(problem.solve_subset(np.sort(subset)).witness)
+    return out
+
+
+@pytest.mark.parametrize("make_problem", PROBLEMS, ids=IDS)
+def test_mask_matches_scalar_violates(make_problem):
+    problem = make_problem()
+    indices = problem.all_indices()
+    for witness in _witnesses(problem):
+        mask = problem.violation_mask(witness, indices)
+        expected = np.array([problem.violates(witness, int(i)) for i in indices])
+        assert mask.dtype == bool
+        assert np.array_equal(mask, expected)
+
+
+@pytest.mark.parametrize("make_problem", PROBLEMS, ids=IDS)
+def test_count_matrix_matches_stacked_masks(make_problem):
+    problem = make_problem()
+    indices = problem.all_indices()[::3]
+    witnesses = _witnesses(problem)
+    counts = problem.violation_count_matrix(witnesses, indices)
+    expected = sum(problem.violation_mask(w, indices).astype(np.int64) for w in witnesses)
+    assert np.array_equal(counts, expected)
+
+
+@pytest.mark.parametrize("make_problem", PROBLEMS, ids=IDS)
+def test_violating_indices_sorted_and_consistent(make_problem):
+    problem = make_problem()
+    # Deliberately unsorted query order: results must still be ascending.
+    indices = problem.all_indices()[::-1]
+    witness = _witnesses(problem, count=1)[0]
+    violators = problem.violating_indices(witness, indices)
+    assert np.all(np.diff(violators) > 0) or violators.size <= 1
+    assert set(violators.tolist()) == {
+        int(i) for i in range(problem.num_constraints) if problem.violates(witness, i)
+    }
+
+
+@pytest.mark.parametrize("make_problem", PROBLEMS, ids=IDS)
+def test_none_witness_and_empty_indices(make_problem):
+    problem = make_problem()
+    assert problem.violation_mask(None, problem.all_indices()).sum() == 0
+    assert problem.violation_mask(_witnesses(problem, 1)[0], []).size == 0
+    assert problem.violation_count_matrix([], problem.all_indices()).sum() == 0
+    assert problem.violating_indices(None, problem.all_indices()).size == 0
+
+
+class _ScalarOnlyProblem(LPTypeProblem):
+    """A toy 1-d problem that does NOT override the batch methods.
+
+    ``f(A)`` = max of the chosen thresholds; constraint ``i`` is violated at
+    witness ``x`` when ``thresholds[i] > x``.
+    """
+
+    def __init__(self, thresholds):
+        self.thresholds = np.asarray(thresholds, dtype=float)
+
+    @property
+    def num_constraints(self):
+        return int(self.thresholds.size)
+
+    @property
+    def dimension(self):
+        return 1
+
+    def solve_subset(self, indices):
+        idx = as_index_array(indices)
+        value = float(self.thresholds[idx].max()) if idx.size else -np.inf
+        return BasisResult(
+            indices=(int(idx[np.argmax(self.thresholds[idx])]),) if idx.size else (),
+            value=value,
+            witness=value,
+            subset_size=int(idx.size),
+        )
+
+    def violates(self, witness, index):
+        return bool(self.thresholds[index] > witness)
+
+
+class TestDefaultFallback:
+    def test_default_mask_uses_scalar_violates(self):
+        problem = _ScalarOnlyProblem([1.0, 5.0, 3.0, 2.0])
+        mask = problem.violation_mask(2.5, [0, 1, 2, 3])
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_default_count_matrix(self):
+        problem = _ScalarOnlyProblem([1.0, 5.0, 3.0, 2.0])
+        counts = problem.violation_count_matrix([0.5, 2.5, None], np.arange(4))
+        assert counts.tolist() == [1, 2, 2, 1]
+
+    def test_default_violating_indices_accepts_plain_iterables(self):
+        problem = _ScalarOnlyProblem([1.0, 5.0, 3.0, 2.0])
+        out = problem.violating_indices(2.5, (int(i) for i in (3, 2, 1)))
+        assert out.tolist() == [1, 2]
