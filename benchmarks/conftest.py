@@ -4,22 +4,50 @@ Every benchmark regenerates one experiment of `DESIGN.md` (per-experiment
 index) and prints the paper-style rows it measures, so the captured output of
 ``pytest benchmarks/ --benchmark-only`` doubles as the data behind
 ``EXPERIMENTS.md``.
+
+The helpers are built on the ``repro.api`` front door: the "practical
+profile" is expressed as a typed :class:`~repro.api.config.SolverConfig`, and
+``facade_solve`` dispatches through :func:`repro.solve` with model-specific
+overrides (``num_sites=``, ``delta=``, ...) resolved by the registry.
 """
 
 from __future__ import annotations
 
-from repro.core.clarkson import practical_parameters
+from repro import SolverConfig, solve
+
+
+def practical_config(problem, r: int, **overrides) -> SolverConfig:
+    """The constant-free "practical profile" as a typed config.
+
+    See :meth:`repro.api.config.SolverConfig.practical`: same asymptotics as
+    the paper (samples of ``~ n^{1/r}``, success threshold of
+    ``~ 1/n^{1/r}``), with the loose Lemma 2.2 constants replaced by
+    Clarkson's sampling bound so that the sub-linear regime is visible at
+    laptop scale.  Traces are disabled for benchmarking.  ``overrides`` must
+    be base :class:`SolverConfig` keys (``seed=``, ``max_iterations=``, ...);
+    model-specific keys (``num_sites=``, ``delta=``) go to ``facade_solve``.
+    """
+    return SolverConfig.practical(problem, r=r, keep_trace=False, **overrides)
 
 
 def solver_params(problem, r: int):
-    """The constant-free "practical profile" used by every benchmark run.
+    """The practical profile as :class:`ClarksonParameters` (legacy drivers)."""
+    return practical_config(problem, r).to_parameters()
 
-    See ``repro.core.clarkson.practical_parameters``: same asymptotics as the
-    paper (samples of ``~ n^{1/r}``, success threshold of ``~ 1/n^{1/r}``),
-    with the loose Lemma 2.2 constants replaced by Clarkson's sampling bound
-    so that the sub-linear regime is visible at laptop scale.
+
+def facade_solve(problem, model: str, r: int = 2, seed=0, **overrides):
+    """One benchmark run through the ``repro.solve`` front door.
+
+    ``overrides`` may contain any key of the model's config class
+    (``num_sites``, ``delta``, ``num_machines``, ...); the registry validates
+    them against the model at hand.
     """
-    return practical_parameters(problem, r=r, keep_trace=False)
+    return solve(
+        problem,
+        model=model,
+        config=practical_config(problem, r, seed=seed),
+        **overrides,
+    )
 
 
 def emit_row(experiment: str, **fields) -> None:

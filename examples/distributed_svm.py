@@ -14,8 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import coordinator_clarkson_solve, exact_in_memory, ship_all_coordinator
-from repro.core import practical_parameters
+from repro import CoordinatorConfig, solve
 from repro.workloads import make_separable_classification, svm_problem
 
 
@@ -26,13 +25,14 @@ def main() -> None:
     problem = svm_problem(data)
     print(f"SVM instance: {problem.num_constraints} labelled points in R^{problem.dimension}")
 
-    exact = exact_in_memory(problem)
+    exact = solve(problem, model="exact")
     print(f"exact margin                 : {problem.margin(exact.witness):.4f}")
 
-    naive = ship_all_coordinator(problem, num_sites=16)
-    params = practical_parameters(problem, r=2)
-    distributed = coordinator_clarkson_solve(
-        problem, num_sites=16, r=2, params=params, rng=2
+    naive = solve(problem, model="ship_all_coordinator", num_sites=16)
+    distributed = solve(
+        problem,
+        model="coordinator",
+        config=CoordinatorConfig.practical(problem, r=2, num_sites=16, seed=2),
     )
 
     print(

@@ -14,13 +14,13 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    StreamingConfig,
     interactive_tci_protocol,
     one_round_tci_protocol,
     sample_hard_instance,
-    streaming_clarkson_solve,
+    solve,
     tci_to_linear_program,
 )
-from repro.core import practical_parameters
 from repro.lower_bounds.tci import lp_optimum_to_index
 
 
@@ -48,8 +48,9 @@ def main() -> None:
 
     lp = tci_to_linear_program(hard.instance)
     print(f"reduced 2-d LP                  : {lp.num_constraints} constraints")
-    params = practical_parameters(lp, r=2)
-    solved = streaming_clarkson_solve(lp, r=2, params=params, rng=0)
+    solved = solve(
+        lp, model="streaming", config=StreamingConfig.practical(lp, r=2, seed=0)
+    )
     decoded = lp_optimum_to_index(solved.witness[0], n)
     print(
         f"streaming LP solve              : passes={solved.resources.passes}, "

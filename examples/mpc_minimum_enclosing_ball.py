@@ -11,8 +11,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import exact_in_memory, mpc_clarkson_solve
-from repro.core import practical_parameters
+from repro import MPCConfig, solve
 from repro.problems import MinimumEnclosingBall, badoiu_clarkson_meb
 from repro.workloads import clustered_points
 
@@ -24,17 +23,21 @@ def main() -> None:
     problem = MinimumEnclosingBall(points=points)
     print(f"MEB instance: {problem.num_constraints} points in R^{problem.dimension}")
 
-    exact = exact_in_memory(problem)
+    exact = solve(problem, model="exact")
     print(f"exact radius                    : {exact.value.radius:.5f}")
 
     core_set = badoiu_clarkson_meb(points, epsilon=0.01, rng=0)
     print(f"Badoiu-Clarkson (1+eps) radius  : {core_set.radius:.5f}")
 
     for delta in (0.5, 1.0 / 3.0):
-        params = practical_parameters(problem, r=max(1, round(1.0 / delta)))
-        result = mpc_clarkson_solve(
-            problem, delta=delta, num_machines=150, params=params, rng=1
+        config = MPCConfig.practical(
+            problem,
+            r=max(1, round(1.0 / delta)),
+            delta=delta,
+            num_machines=150,
+            seed=1,
         )
+        result = solve(problem, model="mpc", config=config)
         input_bits = problem.num_constraints * problem.bit_size()
         print(
             f"MPC delta={delta:.2f}                  : radius={result.value.radius:.5f}  "

@@ -1,36 +1,43 @@
-"""Quickstart: solve one over-constrained low-dimensional LP in every model.
+"""Quickstart: one front door — ``repro.solve()`` — in every computation model.
 
 Run with::
 
     python examples/quickstart.py
 
 The script builds a random 3-dimensional linear program with 20,000
-constraints, solves it exactly in memory, and then solves it again with the
-paper's meta-algorithm in the multi-pass streaming, coordinator, and MPC
-models, printing the resource costs each model is measured in.
+constraints and solves it through the ``solve()`` facade: exactly in memory,
+then with the paper's meta-algorithm in the multi-pass streaming,
+coordinator, and MPC models — one call each, parameterized by a registered
+model name and a typed config.  It finishes with a small batch run through
+``solve_many()``.
 """
 
 from __future__ import annotations
 
 from repro import (
-    coordinator_clarkson_solve,
-    exact_in_memory,
-    mpc_clarkson_solve,
+    CoordinatorConfig,
+    MPCConfig,
+    StreamingConfig,
+    available_models,
     random_feasible_lp,
-    streaming_clarkson_solve,
+    solve,
+    solve_many,
 )
-from repro.core import practical_parameters
 
 
 def main() -> None:
     instance = random_feasible_lp(num_constraints=20_000, dimension=3, seed=0)
     problem = instance.problem
-    params = practical_parameters(problem, r=2)
+    print(f"registered models        : {', '.join(available_models())}")
 
-    exact = exact_in_memory(problem)
+    exact = solve(problem, model="exact")
     print(f"exact optimum            : {exact.value.objective:.6f}")
 
-    streaming = streaming_clarkson_solve(problem, r=2, params=params, rng=0)
+    streaming = solve(
+        problem,
+        model="streaming",
+        config=StreamingConfig.practical(problem, r=2, seed=0),
+    )
     print(
         f"streaming  (r=2)         : {streaming.value.objective:.6f}  "
         f"passes={streaming.resources.passes}  "
@@ -38,18 +45,44 @@ def main() -> None:
         f"({streaming.resources.space_peak_items / problem.num_constraints:.1%} of input)"
     )
 
-    coordinator = coordinator_clarkson_solve(problem, num_sites=8, r=2, params=params, rng=0)
+    coordinator = solve(
+        problem,
+        model="coordinator",
+        config=CoordinatorConfig.practical(problem, r=2, seed=0, num_sites=8),
+    )
     print(
         f"coordinator (k=8, r=2)   : {coordinator.value.objective:.6f}  "
         f"rounds={coordinator.resources.rounds}  "
         f"communication={coordinator.resources.total_communication_bits / 8 / 1024:.1f} KiB"
     )
 
-    mpc = mpc_clarkson_solve(problem, delta=0.5, num_machines=32, params=params, rng=0)
+    mpc = solve(
+        problem,
+        model="mpc",
+        config=MPCConfig.practical(problem, r=2, seed=0, delta=0.5, num_machines=32),
+    )
     print(
         f"MPC (delta=0.5, k=32)    : {mpc.value.objective:.6f}  "
         f"rounds={mpc.resources.rounds}  "
         f"max load={mpc.resources.max_machine_load_bits / 8 / 1024:.1f} KiB per machine"
+    )
+
+    scenarios = [
+        random_feasible_lp(num_constraints=5_000, dimension=3, seed=s).problem
+        for s in (1, 2, 3)
+    ]
+    batch = solve_many(
+        scenarios,
+        model="streaming",
+        config=StreamingConfig.practical(scenarios[0], r=2),
+        max_workers=3,
+        root_seed=7,
+    )
+    total = batch.resources_total()
+    print(
+        f"batch ({len(batch)} streaming LPs): "
+        f"optima={[round(r.value.objective, 4) for r in batch]}  "
+        f"total passes={total.passes}"
     )
 
 

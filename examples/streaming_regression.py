@@ -15,8 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import streaming_clarkson_solve
-from repro.core import practical_parameters
+from repro import StreamingConfig, solve
 from repro.workloads import chebyshev_regression_lp, make_regression_data
 
 
@@ -30,8 +29,9 @@ def main() -> None:
         f"{lp.dimension} variables"
     )
 
-    params = practical_parameters(lp, r=2)
-    result = streaming_clarkson_solve(lp, r=2, params=params, rng=1)
+    result = solve(
+        lp, model="streaming", config=StreamingConfig.practical(lp, r=2, seed=1)
+    )
 
     weights = np.array(result.witness[: data.features.shape[1]])
     max_residual = float(result.witness[-1])

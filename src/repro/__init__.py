@@ -7,13 +7,29 @@ minimum-enclosing-ball problems, and the communication lower-bound machinery
 (two-curve intersection, Augmented Indexing, and the recursive hard
 distributions).
 
+The canonical entry point is the :func:`solve` facade: one call,
+parameterized by a registered computation model and a typed
+:class:`SolverConfig`.
+
 Quick start::
 
-    from repro import random_feasible_lp, streaming_clarkson_solve
+    from repro import random_feasible_lp, solve
 
     instance = random_feasible_lp(num_constraints=5000, dimension=3, seed=0)
-    result = streaming_clarkson_solve(instance.problem, r=2, rng=0)
+    result = solve(instance.problem, model="streaming", r=2, seed=0)
     print(result.value.objective, result.resources.passes)
+
+Cross-model comparisons and batches::
+
+    from repro import compare_models, solve_many
+
+    by_model = compare_models(instance.problem, seed=0)     # the 4 theorems
+    batch = solve_many([instance.problem] * 10, model="mpc", root_seed=0)
+    print(batch.resources_total().rounds)
+
+``available_models()`` / ``describe_model(name)`` introspect the registry;
+the legacy per-model entry points (``streaming_clarkson_solve``, ...) remain
+as deprecated shims.
 """
 
 from .algorithms import (
@@ -28,6 +44,24 @@ from .algorithms import (
     ship_all_coordinator,
     single_pass_full_memory_streaming,
     streaming_clarkson_solve,
+)
+from .api import (
+    BatchResult,
+    CoordinatorConfig,
+    MPCConfig,
+    ModelSpec,
+    ProblemSpec,
+    SolverConfig,
+    StreamingConfig,
+    available_models,
+    available_problems,
+    compare_models,
+    describe_model,
+    describe_problem,
+    register_model,
+    register_problem,
+    solve,
+    solve_many,
 )
 from .core import (
     BasisResult,
@@ -62,9 +96,25 @@ from .workloads import (
     uniform_ball_points,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchResult",
+    "CoordinatorConfig",
+    "MPCConfig",
+    "ModelSpec",
+    "ProblemSpec",
+    "SolverConfig",
+    "StreamingConfig",
+    "available_models",
+    "available_problems",
+    "compare_models",
+    "describe_model",
+    "describe_problem",
+    "register_model",
+    "register_problem",
+    "solve",
+    "solve_many",
     "chan_chen_2d_streaming",
     "chan_chen_pass_count",
     "clarkson_classic_reweighting",

@@ -55,6 +55,8 @@ from ..core.sampling import multinomial_split, weighted_sample_without_replaceme
 from ..core.weights import ExplicitWeights, boost_factor
 from ..models.coordinator import CoordinatorNetwork, Message
 from ..models.partition import partition_indices
+from ..api.config import CoordinatorConfig
+from ..api.registry import register_model, warn_legacy_entry_point
 
 __all__ = ["coordinator_clarkson_solve"]
 
@@ -203,7 +205,7 @@ class PartitionedWeightSubstrate(WeightSubstrate):
         self.state.pending_violators = stats.context
 
 
-def coordinator_clarkson_solve(
+def _coordinator_clarkson_solve(
     problem: LPTypeProblem,
     num_sites: int = 4,
     r: int = 2,
@@ -212,31 +214,10 @@ def coordinator_clarkson_solve(
     cost_model: BitCostModel | None = None,
     rng: SeedLike = None,
 ) -> SolveResult:
-    """Solve an LP-type problem in the coordinator model.
+    """Coordinator driver body; see :func:`coordinator_clarkson_solve`.
 
-    Parameters
-    ----------
-    problem:
-        The LP-type problem (shared read-only by the simulator; sites only
-        touch their own indices).
-    num_sites:
-        Number of sites ``k`` (ignored if ``partition`` is given).
-    r:
-        Round/communication trade-off parameter of Theorem 2.
-    partition:
-        Optional explicit partition of the constraint indices over the sites.
-    params:
-        Meta-algorithm parameters (``params.r`` is overridden by ``r``).
-    cost_model:
-        Bit-cost model used for the communication accounting.
-    rng:
-        Randomness (coordinator and per-site generators are derived from it).
-
-    Returns
-    -------
-    SolveResult
-        ``resources.rounds`` and ``resources.total_communication_bits`` carry
-        the coordinator-model costs.
+    Internal entry point used by ``repro.solve(problem, model="coordinator")``;
+    identical to the public shim minus the deprecation warning.
     """
     base_params = params or ClarksonParameters()
     params = replace(base_params, r=r)
@@ -314,4 +295,83 @@ def coordinator_clarkson_solve(
             "sample_size": sample_size,
             "boost": boost,
         },
+    )
+
+
+def coordinator_clarkson_solve(
+    problem: LPTypeProblem,
+    num_sites: int = 4,
+    r: int = 2,
+    partition: Sequence[np.ndarray] | None = None,
+    params: ClarksonParameters | None = None,
+    cost_model: BitCostModel | None = None,
+    rng: SeedLike = None,
+) -> SolveResult:
+    """Solve an LP-type problem in the coordinator model.
+
+    .. deprecated:: 1.1
+        Use ``repro.solve(problem, model="coordinator")`` instead; this shim
+        emits a :class:`DeprecationWarning` and forwards to the same
+        implementation.
+
+    Parameters
+    ----------
+    problem:
+        The LP-type problem (shared read-only by the simulator; sites only
+        touch their own indices).
+    num_sites:
+        Number of sites ``k`` (ignored if ``partition`` is given).
+    r:
+        Round/communication trade-off parameter of Theorem 2.
+    partition:
+        Optional explicit partition of the constraint indices over the sites.
+    params:
+        Meta-algorithm parameters (``params.r`` is overridden by ``r``).
+    cost_model:
+        Bit-cost model used for the communication accounting.
+    rng:
+        Randomness (coordinator and per-site generators are derived from it).
+
+    Returns
+    -------
+    SolveResult
+        ``resources.rounds`` and ``resources.total_communication_bits`` carry
+        the coordinator-model costs.
+    """
+    warn_legacy_entry_point("coordinator_clarkson_solve", "coordinator")
+    return _coordinator_clarkson_solve(
+        problem,
+        num_sites=num_sites,
+        r=r,
+        partition=partition,
+        params=params,
+        cost_model=cost_model,
+        rng=rng,
+    )
+
+
+@register_model(
+    "coordinator",
+    config_cls=CoordinatorConfig,
+    description=(
+        "Coordinator-model Clarkson (Theorem 2): per-site explicit weights, "
+        "three rounds per iteration, O~(n^{1/r} + k) communication."
+    ),
+    currencies=(
+        "rounds",
+        "total_communication_bits",
+        "max_message_bits",
+        "machine_count",
+    ),
+    replaces="coordinator_clarkson_solve",
+)
+def _run_coordinator(problem: LPTypeProblem, config: CoordinatorConfig) -> SolveResult:
+    return _coordinator_clarkson_solve(
+        problem,
+        num_sites=config.num_sites,
+        r=config.r,
+        partition=config.partition,
+        params=config.to_parameters(),
+        cost_model=config.cost_model,
+        rng=config.seed,
     )

@@ -52,6 +52,8 @@ from ..core.rng import SeedLike, as_generator, spawn
 from ..core.weights import boost_factor
 from ..models.mpc import MPCCluster
 from ..models.partition import partition_indices
+from ..api.config import MPCConfig
+from ..api.registry import register_model, warn_legacy_entry_point
 
 __all__ = ["mpc_clarkson_solve", "machines_for_load"]
 
@@ -220,7 +222,7 @@ class TreeImplicitSubstrate(WeightSubstrate):
         )
 
 
-def mpc_clarkson_solve(
+def _mpc_clarkson_solve(
     problem: LPTypeProblem,
     delta: float = 0.5,
     num_machines: int | None = None,
@@ -229,32 +231,10 @@ def mpc_clarkson_solve(
     cost_model: BitCostModel | None = None,
     rng: SeedLike = None,
 ) -> SolveResult:
-    """Solve an LP-type problem in the MPC model.
+    """MPC driver body; see :func:`mpc_clarkson_solve`.
 
-    Parameters
-    ----------
-    problem:
-        The LP-type problem.
-    delta:
-        Load exponent: per-machine load is ``O~(n^delta)`` and the number of
-        rounds is ``O(nu / delta^2)``.
-    num_machines:
-        Number of machines (default ``ceil(n^(1-delta))``).
-    partition:
-        Optional explicit partition of constraint indices over machines.
-    params:
-        Meta-algorithm parameters; ``r = ceil(1/delta)`` is derived from
-        ``delta``.
-    cost_model:
-        Bit-cost model for the load accounting.
-    rng:
-        Randomness.
-
-    Returns
-    -------
-    SolveResult
-        ``resources.rounds`` and ``resources.max_machine_load_bits`` carry
-        the MPC costs.
+    Internal entry point used by ``repro.solve(problem, model="mpc")``;
+    identical to the public shim minus the deprecation warning.
     """
     if not 0.0 < delta < 1.0:
         raise ValueError(f"delta must lie in (0, 1), got {delta}")
@@ -337,4 +317,84 @@ def mpc_clarkson_solve(
             "boost": boost,
             "fanout": fanout,
         },
+    )
+
+
+def mpc_clarkson_solve(
+    problem: LPTypeProblem,
+    delta: float = 0.5,
+    num_machines: int | None = None,
+    partition: Sequence[np.ndarray] | None = None,
+    params: ClarksonParameters | None = None,
+    cost_model: BitCostModel | None = None,
+    rng: SeedLike = None,
+) -> SolveResult:
+    """Solve an LP-type problem in the MPC model.
+
+    .. deprecated:: 1.1
+        Use ``repro.solve(problem, model="mpc")`` instead; this shim emits a
+        :class:`DeprecationWarning` and forwards to the same implementation.
+
+    Parameters
+    ----------
+    problem:
+        The LP-type problem.
+    delta:
+        Load exponent: per-machine load is ``O~(n^delta)`` and the number of
+        rounds is ``O(nu / delta^2)``.
+    num_machines:
+        Number of machines (default ``ceil(n^(1-delta))``).
+    partition:
+        Optional explicit partition of constraint indices over machines.
+    params:
+        Meta-algorithm parameters; ``r = ceil(1/delta)`` is derived from
+        ``delta``.
+    cost_model:
+        Bit-cost model for the load accounting.
+    rng:
+        Randomness.
+
+    Returns
+    -------
+    SolveResult
+        ``resources.rounds`` and ``resources.max_machine_load_bits`` carry
+        the MPC costs.
+    """
+    warn_legacy_entry_point("mpc_clarkson_solve", "mpc")
+    return _mpc_clarkson_solve(
+        problem,
+        delta=delta,
+        num_machines=num_machines,
+        partition=partition,
+        params=params,
+        cost_model=cost_model,
+        rng=rng,
+    )
+
+
+@register_model(
+    "mpc",
+    config_cls=MPCConfig,
+    description=(
+        "MPC Clarkson (Theorem 3): implicit weights with tree "
+        "broadcast/aggregation, O(nu/delta^2) rounds, O~(n^delta) load per "
+        "machine."
+    ),
+    currencies=(
+        "rounds",
+        "max_machine_load_bits",
+        "total_communication_bits",
+        "machine_count",
+    ),
+    replaces="mpc_clarkson_solve",
+)
+def _run_mpc(problem: LPTypeProblem, config: MPCConfig) -> SolveResult:
+    return _mpc_clarkson_solve(
+        problem,
+        delta=config.delta,
+        num_machines=config.num_machines,
+        partition=config.partition,
+        params=config.to_parameters(),
+        cost_model=config.cost_model,
+        rng=config.seed,
     )

@@ -60,6 +60,8 @@ from ..core.rng import SeedLike, as_generator
 from ..core.sampling import exponential_keys
 from ..core.weights import boost_factor
 from ..models.streaming import MultiPassStream, StreamingMemory
+from ..api.config import StreamingConfig
+from ..api.registry import register_model, warn_legacy_entry_point
 
 __all__ = ["streaming_clarkson_solve"]
 
@@ -195,35 +197,17 @@ class ImplicitStreamSubstrate(WeightSubstrate):
         )
 
 
-def streaming_clarkson_solve(
+def _streaming_clarkson_solve(
     problem: LPTypeProblem,
     r: int = 2,
     order: Sequence[int] | np.ndarray | None = None,
     params: ClarksonParameters | None = None,
     rng: SeedLike = None,
 ) -> SolveResult:
-    """Solve an LP-type problem in the multi-pass streaming model.
+    """Streaming driver body; see :func:`streaming_clarkson_solve`.
 
-    Parameters
-    ----------
-    problem:
-        The LP-type problem; the driver only accesses constraints by the
-        indices the stream yields.
-    r:
-        Pass/space trade-off parameter of Theorem 1.
-    order:
-        Optional arrival order of the constraints (default: natural order).
-    params:
-        Optional meta-algorithm parameters; ``params.r`` is overridden by
-        ``r``.
-    rng:
-        Randomness for the reservoir sampling.
-
-    Returns
-    -------
-    SolveResult
-        ``resources.passes`` and ``resources.space_peak_items`` /
-        ``space_peak_bits`` carry the streaming costs of the run.
+    Internal entry point used by ``repro.solve(problem, model="streaming")``;
+    identical to the public shim minus the deprecation warning.
     """
     base_params = params or ClarksonParameters()
     params = replace(base_params, r=r)
@@ -289,4 +273,63 @@ def streaming_clarkson_solve(
             "boost": boost,
             "stored_bases": len(state.stored_bases),
         },
+    )
+
+
+def streaming_clarkson_solve(
+    problem: LPTypeProblem,
+    r: int = 2,
+    order: Sequence[int] | np.ndarray | None = None,
+    params: ClarksonParameters | None = None,
+    rng: SeedLike = None,
+) -> SolveResult:
+    """Solve an LP-type problem in the multi-pass streaming model.
+
+    .. deprecated:: 1.1
+        Use ``repro.solve(problem, model="streaming")`` instead; this shim
+        emits a :class:`DeprecationWarning` and forwards to the same
+        implementation.
+
+    Parameters
+    ----------
+    problem:
+        The LP-type problem; the driver only accesses constraints by the
+        indices the stream yields.
+    r:
+        Pass/space trade-off parameter of Theorem 1.
+    order:
+        Optional arrival order of the constraints (default: natural order).
+    params:
+        Optional meta-algorithm parameters; ``params.r`` is overridden by
+        ``r``.
+    rng:
+        Randomness for the reservoir sampling.
+
+    Returns
+    -------
+    SolveResult
+        ``resources.passes`` and ``resources.space_peak_items`` /
+        ``space_peak_bits`` carry the streaming costs of the run.
+    """
+    warn_legacy_entry_point("streaming_clarkson_solve", "streaming")
+    return _streaming_clarkson_solve(problem, r=r, order=order, params=params, rng=rng)
+
+
+@register_model(
+    "streaming",
+    config_cls=StreamingConfig,
+    description=(
+        "Multi-pass streaming Clarkson (Theorem 1): implicit stored-bases "
+        "weights, two passes per iteration, O~(n^{1/r}) space."
+    ),
+    currencies=("passes", "space_peak_items", "space_peak_bits"),
+    replaces="streaming_clarkson_solve",
+)
+def _run_streaming(problem: LPTypeProblem, config: StreamingConfig) -> SolveResult:
+    return _streaming_clarkson_solve(
+        problem,
+        r=config.r,
+        order=config.order,
+        params=config.to_parameters(),
+        rng=config.seed,
     )

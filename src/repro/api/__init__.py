@@ -1,0 +1,59 @@
+"""``repro.api`` — the canonical front door of the library.
+
+Layers (each documented in its module):
+
+* :mod:`repro.api.registry` — the model / problem registry
+  (:class:`ModelSpec`, :class:`ProblemSpec`, ``register_*``,
+  ``available_*``, ``describe_*``);
+* :mod:`repro.api.config` — frozen, validated solver configurations
+  (:class:`SolverConfig` and the per-model subclasses);
+* :mod:`repro.api.facade` — :func:`solve` and :func:`compare_models`;
+* :mod:`repro.api.batch` — :func:`solve_many` and :class:`BatchResult`.
+
+Everything here is re-exported from the top-level ``repro`` package; see
+``docs/api.md`` for the guide.
+"""
+
+from .batch import BatchResult, solve_many
+from .config import CoordinatorConfig, MPCConfig, SolverConfig, StreamingConfig
+from .facade import DEFAULT_COMPARISON_MODELS, compare_models, solve
+from .registry import (
+    ModelSpec,
+    ProblemSpec,
+    available_models,
+    available_problems,
+    describe_model,
+    describe_problem,
+    get_model,
+    get_problem,
+    register_model,
+    register_problem,
+    unregister_model,
+    unregister_problem,
+)
+
+from . import builtin  # noqa: F401  (import side-effect: registers "sequential")
+
+__all__ = [
+    "BatchResult",
+    "solve_many",
+    "CoordinatorConfig",
+    "MPCConfig",
+    "SolverConfig",
+    "StreamingConfig",
+    "DEFAULT_COMPARISON_MODELS",
+    "compare_models",
+    "solve",
+    "ModelSpec",
+    "ProblemSpec",
+    "available_models",
+    "available_problems",
+    "describe_model",
+    "describe_problem",
+    "get_model",
+    "get_problem",
+    "register_model",
+    "register_problem",
+    "unregister_model",
+    "unregister_problem",
+]

@@ -1,0 +1,157 @@
+"""Batch solving: many independent instances through one call.
+
+:func:`solve_many` is the first step toward the ROADMAP's heavy-traffic
+service: it runs independent LP-type instances through a registered model
+with a ``concurrent.futures`` thread pool, derives one private random stream
+per instance from a single root seed via ``numpy.random.SeedSequence.spawn``
+(so results are bit-identical no matter how many workers run), and returns a
+:class:`BatchResult` that aggregates the per-instance
+:class:`~repro.core.result.ResourceUsage` records into batch totals and
+peaks.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Sequence, overload
+
+import numpy as np
+
+from ..core.exceptions import InvalidConfigError
+from ..core.result import ResourceUsage, SolveResult
+from .config import SolverConfig
+from .facade import build_config
+from .registry import get_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.lptype import LPTypeProblem
+
+__all__ = ["BatchResult", "solve_many"]
+
+
+@dataclass
+class BatchResult(Sequence):
+    """The outcome of one :func:`solve_many` call.
+
+    Behaves as a sequence of the per-instance
+    :class:`~repro.core.result.SolveResult` records (``batch[0]``,
+    ``len(batch)``, iteration) and carries the aggregate resource summaries
+    of the batch.
+    """
+
+    model: str
+    results: list[SolveResult]
+    root_seed: Optional[int] = None
+
+    @overload
+    def __getitem__(self, index: int) -> SolveResult: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> list[SolveResult]: ...
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[SolveResult]:
+        return iter(self.results)
+
+    def resources_total(self) -> ResourceUsage:
+        """Sum of the additive resource currencies over the batch.
+
+        ``ResourceUsage.aggregate(..., mode="sum")``: total passes, rounds,
+        communication bits, space, and machine counts across instances;
+        the per-message / per-machine peaks aggregate by maximum.
+        """
+        return ResourceUsage.aggregate((r.resources for r in self.results), mode="sum")
+
+    def resources_peak(self) -> ResourceUsage:
+        """Point-wise maximum of every resource field over the batch."""
+        return ResourceUsage.aggregate((r.resources for r in self.results), mode="max")
+
+    def summary(self) -> dict:
+        """A flat dict convenient for printing batch tables."""
+        total = self.resources_total()
+        peak = self.resources_peak()
+        return {
+            "model": self.model,
+            "instances": len(self.results),
+            "iterations": sum(r.iterations for r in self.results),
+            "total_passes": total.passes,
+            "total_rounds": total.rounds,
+            "total_communication_bits": total.total_communication_bits,
+            "total_space_peak_items": total.space_peak_items,
+            "peak_space_items": peak.space_peak_items,
+            "peak_machine_load_bits": peak.max_machine_load_bits,
+        }
+
+
+def derive_instance_seeds(
+    root_seed: Optional[int], count: int
+) -> list[np.random.SeedSequence]:
+    """Spawn one independent :class:`~numpy.random.SeedSequence` per instance.
+
+    The children depend only on ``root_seed`` and the instance position, so
+    the batch is reproducible end to end and independent of worker
+    scheduling.  ``root_seed=None`` draws fresh entropy for the root.
+    """
+    return list(np.random.SeedSequence(root_seed).spawn(count)) if count else []
+
+
+def solve_many(
+    problems: Iterable["LPTypeProblem"],
+    model: str = "streaming",
+    config: Optional[SolverConfig] = None,
+    max_workers: Optional[int] = None,
+    root_seed: Optional[int] = None,
+    **overrides: Any,
+) -> BatchResult:
+    """Solve many independent instances in the named model.
+
+    Parameters
+    ----------
+    problems:
+        The instances to solve (independent; order is preserved in the
+        returned batch).
+    model:
+        A registered model name, as in :func:`repro.solve`.
+    config:
+        Optional shared typed configuration; its ``seed`` field is replaced
+        by the per-instance derived seed.
+    max_workers:
+        Thread-pool width (``None``: the executor default; ``1``: run
+        serially in the calling thread).  The result is identical for every
+        value — only wall-clock time changes.
+    root_seed:
+        Root of the deterministic per-instance seed derivation
+        (``SeedSequence(root_seed).spawn(n)``).  ``None`` (default) falls
+        back to the config's integer ``seed`` if one was given (so
+        ``solve_many(..., seed=42)`` is reproducible), else fresh entropy.
+        An explicit ``root_seed`` wins over the config seed.
+    **overrides:
+        Individual config fields, as in :func:`repro.solve`.
+
+    Returns
+    -------
+    BatchResult
+        Per-instance results plus batch resource totals/peaks.
+    """
+    problems = list(problems)
+    if max_workers is not None and max_workers < 1:
+        raise InvalidConfigError(f"max_workers must be >= 1 (got {max_workers!r})")
+    spec = get_model(model)
+    base = build_config(spec, config, overrides)
+    if root_seed is None and isinstance(base.seed, int):
+        root_seed = base.seed
+    seeds = derive_instance_seeds(root_seed, len(problems))
+    configs = [replace(base, seed=seed) for seed in seeds]
+
+    if len(problems) <= 1 or max_workers == 1:
+        results = [spec.runner(p, c) for p, c in zip(problems, configs)]
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(spec.runner, problems, configs))
+    return BatchResult(model=spec.name, results=results, root_seed=root_seed)

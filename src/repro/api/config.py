@@ -1,0 +1,250 @@
+"""Typed, validated solver configurations for the :func:`repro.solve` facade.
+
+One frozen :class:`SolverConfig` replaces the per-driver kwarg dialects
+(``r=``, ``order=``, ``num_sites=``, ``delta=``, ``rng=``, ...).  Every model
+accepts either the base class or its model-specific subclass:
+
+=============  ======================  ==============================================
+model          config class            extra fields
+=============  ======================  ==============================================
+sequential     :class:`SolverConfig`   —
+streaming      :class:`StreamingConfig`   ``order``
+coordinator    :class:`CoordinatorConfig` ``num_sites``, ``partition``, ``cost_model``
+MPC            :class:`MPCConfig`         ``delta``, ``num_machines``, ``partition``,
+                                          ``cost_model``
+=============  ======================  ==============================================
+
+Validation happens at construction time and raises
+:class:`~repro.core.exceptions.InvalidConfigError` naming the offending
+field, so a bad value fails before any pass, round, or message is spent.
+:meth:`SolverConfig.to_parameters` normalises a config into the
+:class:`~repro.core.clarkson.ClarksonParameters` the drivers consume, and
+:meth:`SolverConfig.practical` builds the constant-free "practical profile"
+used by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from ..core.accounting import BitCostModel
+from ..core.clarkson import ClarksonParameters, practical_parameters
+from ..core.exceptions import InvalidConfigError
+from ..core.rng import SeedLike
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.lptype import LPTypeProblem
+
+__all__ = [
+    "SolverConfig",
+    "StreamingConfig",
+    "CoordinatorConfig",
+    "MPCConfig",
+]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Model-independent configuration of one meta-algorithm run.
+
+    Attributes
+    ----------
+    r:
+        The pass/round trade-off parameter of Theorems 1-3 (``>= 1``).
+        The MPC model derives its own ``r = ceil(1/delta)`` and ignores this
+        field.
+    seed:
+        Randomness: ``None`` (fresh entropy), an integer, a
+        :class:`numpy.random.SeedSequence`, or a generator.  The single seed
+        controls every random choice of the run.
+    keep_trace:
+        Whether to record an :class:`~repro.core.result.IterationRecord` per
+        iteration (trace verbosity).
+    sample_scale:
+        Multiplier on the Lemma 2.2 eps-net sample size (``> 0``).
+    failure_probability:
+        Per-iteration eps-net failure probability (in ``(0, 1)``).
+    boost:
+        Violator weight multiplier after a successful iteration; ``None``
+        uses the paper's ``n^{1/r}``; explicit values must exceed 1.
+    max_iterations:
+        Hard iteration budget (``>= 1``; ``None`` derives the Lemma 3.3
+        bound).
+    sample_size:
+        Explicit eps-net sample size override (``>= 1``).
+    success_threshold:
+        Explicit success-test threshold on ``w(V)/w(S)`` (in ``(0, 1)``).
+    """
+
+    r: int = 2
+    seed: SeedLike = None
+    keep_trace: bool = True
+    sample_scale: float = 1.0
+    failure_probability: float = 1.0 / 3.0
+    boost: Optional[float] = None
+    max_iterations: Optional[int] = None
+    sample_size: Optional[int] = None
+    success_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self._check(self.r >= 1, "r", "must be >= 1", self.r)
+        self._check(self.sample_scale > 0, "sample_scale", "must be > 0", self.sample_scale)
+        self._check(
+            0.0 < self.failure_probability < 1.0,
+            "failure_probability",
+            "must lie in (0, 1)",
+            self.failure_probability,
+        )
+        if self.boost is not None:
+            self._check(self.boost > 1.0, "boost", "must be > 1", self.boost)
+        if self.max_iterations is not None:
+            self._check(
+                self.max_iterations >= 1, "max_iterations", "must be >= 1", self.max_iterations
+            )
+        if self.sample_size is not None:
+            self._check(self.sample_size >= 1, "sample_size", "must be >= 1", self.sample_size)
+        if self.success_threshold is not None:
+            self._check(
+                0.0 < self.success_threshold < 1.0,
+                "success_threshold",
+                "must lie in (0, 1)",
+                self.success_threshold,
+            )
+
+    def _check(self, condition: bool, field_name: str, message: str, value: Any) -> None:
+        """Raise :class:`InvalidConfigError` naming the offending field."""
+        if not condition:
+            raise InvalidConfigError(
+                f"{type(self).__name__}.{field_name} {message} (got {value!r})"
+            )
+
+    def to_parameters(self) -> ClarksonParameters:
+        """Normalise into the :class:`ClarksonParameters` the drivers consume."""
+        return ClarksonParameters(
+            r=self.r,
+            sample_scale=self.sample_scale,
+            failure_probability=self.failure_probability,
+            boost=self.boost,
+            max_iterations=self.max_iterations,
+            keep_trace=self.keep_trace,
+            sample_size=self.sample_size,
+            success_threshold=self.success_threshold,
+        )
+
+    @classmethod
+    def practical(
+        cls,
+        problem: "LPTypeProblem",
+        r: int = 2,
+        safety: float = 4.0,
+        **overrides: Any,
+    ) -> "SolverConfig":
+        """The constant-free "practical profile" as a typed config.
+
+        Same asymptotics as the paper (samples of ``~ n^{1/r}``, success
+        threshold of ``~ 1/n^{1/r}``) with the loose Lemma 2.2 constants
+        replaced by Clarkson's sampling bound — see
+        :func:`repro.core.clarkson.practical_parameters`.  Extra keyword
+        arguments become fields of the returned config (``seed=0``, ...);
+        model-specific keys require calling ``practical`` on that model's
+        config class (``CoordinatorConfig.practical(problem, num_sites=8)``).
+        """
+        params = practical_parameters(
+            problem, r=r, safety=safety, keep_trace=bool(overrides.pop("keep_trace", True))
+        )
+        base: dict[str, Any] = dict(
+            r=r,
+            keep_trace=params.keep_trace,
+            sample_size=params.sample_size,
+            success_threshold=params.success_threshold,
+        )
+        base.update(overrides)
+        return construct_config(cls, base)
+
+
+@dataclass(frozen=True)
+class StreamingConfig(SolverConfig):
+    """Multi-pass streaming configuration (Theorem 1).
+
+    Attributes
+    ----------
+    order:
+        Optional arrival order of the constraints (default: natural order).
+    """
+
+    order: Optional[Sequence[int]] = None
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig(SolverConfig):
+    """Coordinator-model configuration (Theorem 2).
+
+    Attributes
+    ----------
+    num_sites:
+        Number of sites ``k`` (``>= 1``; ignored if ``partition`` is given).
+    partition:
+        Optional explicit partition of the constraint indices over the sites.
+    cost_model:
+        Bit-cost model for the communication accounting (``None``: default
+        :class:`BitCostModel`).
+    """
+
+    num_sites: int = 4
+    partition: Optional[Sequence[Any]] = None
+    cost_model: Optional[BitCostModel] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._check(self.num_sites >= 1, "num_sites", "must be >= 1", self.num_sites)
+
+
+@dataclass(frozen=True)
+class MPCConfig(SolverConfig):
+    """MPC configuration (Theorem 3).
+
+    Attributes
+    ----------
+    delta:
+        Load exponent in ``(0, 1)``: per-machine load ``O~(n^delta)``,
+        ``r = ceil(1/delta)`` iterations (the inherited ``r`` field is
+        ignored by this model).
+    num_machines:
+        Number of machines (``>= 1``; default ``ceil(n^(1-delta))``).
+    partition:
+        Optional explicit partition of the constraint indices over machines.
+    cost_model:
+        Bit-cost model for the load accounting.
+    """
+
+    delta: float = 0.5
+    num_machines: Optional[int] = None
+    partition: Optional[Sequence[Any]] = None
+    cost_model: Optional[BitCostModel] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._check(0.0 < self.delta < 1.0, "delta", "must lie in (0, 1)", self.delta)
+        if self.num_machines is not None:
+            self._check(
+                self.num_machines >= 1, "num_machines", "must be >= 1", self.num_machines
+            )
+
+
+def construct_config(cls: type, values: dict[str, Any]) -> SolverConfig:
+    """Instantiate ``cls(**values)``, turning unknown keys into a clear error.
+
+    Shared by the facade, the batch layer, and ``SolverConfig.practical`` so
+    that a typo'd configuration key always produces an
+    :class:`InvalidConfigError` naming the key and listing the supported
+    keys for the config class at hand.
+    """
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(values) - known)
+    if unknown:
+        raise InvalidConfigError(
+            f"unknown config key(s) {', '.join(map(repr, unknown))} for "
+            f"{cls.__name__}; supported keys: {', '.join(sorted(known))}"
+        )
+    return cls(**values)

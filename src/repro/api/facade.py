@@ -1,0 +1,143 @@
+"""The one front door: ``repro.solve()`` and ``repro.compare_models()``.
+
+``solve(problem, model=..., config=..., **overrides)`` dispatches through the
+model registry, so every computation model — and any model registered by
+user code — is reached through a single call with a single configuration
+vocabulary::
+
+    from repro import solve
+
+    result = solve(problem, model="streaming", r=2, seed=0)
+    result = solve(problem, model="coordinator", num_sites=8, seed=0)
+    result = solve(problem, model="mpc", delta=0.5, seed=0)
+
+``compare_models`` runs the same instance under several models and returns a
+keyed dict of :class:`~repro.core.result.SolveResult` — the shape the
+paper's cross-model tables are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional
+
+from ..core.exceptions import InvalidConfigError
+from .config import SolverConfig, construct_config
+from .registry import ModelSpec, get_model
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.lptype import LPTypeProblem
+    from ..core.result import SolveResult
+
+__all__ = ["solve", "compare_models", "DEFAULT_COMPARISON_MODELS"]
+
+#: The four models of the paper's theorems, in presentation order.
+DEFAULT_COMPARISON_MODELS = ("sequential", "streaming", "coordinator", "mpc")
+
+
+def build_config(
+    spec: ModelSpec,
+    config: Optional[SolverConfig],
+    overrides: Mapping[str, Any],
+) -> SolverConfig:
+    """Resolve the effective config for one model.
+
+    ``config`` may be ``None`` (defaults), an instance of the model's config
+    class (used as-is, with ``overrides`` applied), or any other
+    :class:`SolverConfig` — in which case the fields shared with the model's
+    config class are carried over (so one base config can seed a
+    cross-model comparison).  Unknown override keys raise
+    :class:`InvalidConfigError` naming the key.
+    """
+    cls = spec.config_cls
+    if config is None:
+        base: dict[str, Any] = {}
+    elif isinstance(config, SolverConfig):
+        if type(config) is cls and not overrides:
+            return config
+        # Keep only the fields the target config class understands: a richer
+        # config (StreamingConfig, say) may seed a model with a narrower one.
+        target = {f.name for f in fields(cls)}
+        base = {
+            f.name: getattr(config, f.name)
+            for f in fields(config)
+            if f.name in target
+        }
+    else:
+        raise InvalidConfigError(
+            f"config must be a SolverConfig (ideally {cls.__name__}) or None, "
+            f"got {type(config).__name__}"
+        )
+    base.update(overrides)
+    return construct_config(cls, base)
+
+
+def solve(
+    problem: "LPTypeProblem",
+    model: str = "streaming",
+    config: Optional[SolverConfig] = None,
+    **overrides: Any,
+) -> "SolveResult":
+    """Solve an LP-type problem in the named computation model.
+
+    Parameters
+    ----------
+    problem:
+        Any :class:`~repro.core.lptype.LPTypeProblem` (LP, MEB, SVM, QP, or
+        a user-defined subclass).
+    model:
+        A registered model name — see :func:`repro.available_models` (the
+        built-ins are ``sequential``, ``streaming``, ``coordinator``,
+        ``mpc``, plus the baselines ``exact``, ``single_pass_streaming``,
+        ``ship_all_coordinator``, and ``classic_reweighting``).
+    config:
+        Optional typed configuration (:class:`SolverConfig` or the model's
+        subclass).  ``None`` uses the model's defaults.
+    **overrides:
+        Individual config fields to override, e.g. ``r=3, seed=0`` or
+        ``num_sites=8``.  Unknown keys raise
+        :class:`~repro.core.exceptions.InvalidConfigError`.
+
+    Returns
+    -------
+    SolveResult
+        The optimum, witness, basis, iteration trace, and the resource
+        usage in the model's currencies (see
+        :func:`repro.describe_model`).
+    """
+    spec = get_model(model)
+    effective = build_config(spec, config, overrides)
+    return spec.runner(problem, effective)
+
+
+def compare_models(
+    problem: "LPTypeProblem",
+    models: Optional[Iterable[str]] = None,
+    config: Optional[SolverConfig] = None,
+    **overrides: Any,
+) -> dict[str, "SolveResult"]:
+    """Solve one instance under several models; return ``{name: result}``.
+
+    ``models`` defaults to the four models of the paper's theorems.
+    ``config`` and ``overrides`` are resolved per model exactly as in
+    :func:`solve`, except that override keys only need to be understood by
+    *some* selected model (``num_sites`` silently does not apply to the
+    streaming run, say); a key unknown to every selected model still raises
+    :class:`InvalidConfigError`.
+    """
+    names = tuple(models) if models is not None else DEFAULT_COMPARISON_MODELS
+    specs = [get_model(name) for name in names]
+    supported: set[str] = set()
+    for spec in specs:
+        supported.update(spec.config_keys)
+    unknown = sorted(set(overrides) - supported)
+    if unknown:
+        raise InvalidConfigError(
+            f"unknown config key(s) {', '.join(map(repr, unknown))}; no model in "
+            f"{list(names)} supports them (supported keys: {', '.join(sorted(supported))})"
+        )
+    results: dict[str, "SolveResult"] = {}
+    for spec in specs:
+        local = {k: v for k, v in overrides.items() if k in spec.config_keys}
+        results[spec.name] = spec.runner(problem, build_config(spec, config, local))
+    return results

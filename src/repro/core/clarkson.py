@@ -167,29 +167,16 @@ def solve_small_problem(problem: LPTypeProblem) -> SolveResult:
     )
 
 
-def clarkson_solve(
+def _clarkson_solve(
     problem: LPTypeProblem,
     params: ClarksonParameters | None = None,
     rng: SeedLike = None,
 ) -> SolveResult:
-    """Solve ``problem`` with the sequential meta-algorithm (Algorithm 1).
+    """Sequential meta-algorithm (Algorithm 1); see :func:`clarkson_solve`.
 
-    Parameters
-    ----------
-    problem:
-        The LP-type problem to solve.
-    params:
-        Algorithm parameters; defaults to :class:`ClarksonParameters()`.
-    rng:
-        Seed or generator controlling all randomness of the run.
-
-    Returns
-    -------
-    SolveResult
-        The optimum together with the iteration trace.  ``resources`` records
-        the peak number of constraints materialised at once (the eps-net
-        sample plus the stored bases), which is the quantity Theorem 1 bounds
-        in the streaming model.
+    Internal entry point used by ``repro.solve(problem, model="sequential")``
+    and the baselines; identical to the public shim minus the deprecation
+    warning.
     """
     params = params or ClarksonParameters()
     gen = as_generator(rng)
@@ -238,3 +225,40 @@ def clarkson_solve(
             "boost": boost,
         },
     )
+
+
+def clarkson_solve(
+    problem: LPTypeProblem,
+    params: ClarksonParameters | None = None,
+    rng: SeedLike = None,
+) -> SolveResult:
+    """Solve ``problem`` with the sequential meta-algorithm (Algorithm 1).
+
+    .. deprecated:: 1.1
+        Use ``repro.solve(problem, model="sequential")`` instead; this shim
+        emits a :class:`DeprecationWarning` and forwards to the same
+        implementation.
+
+    Parameters
+    ----------
+    problem:
+        The LP-type problem to solve.
+    params:
+        Algorithm parameters; defaults to :class:`ClarksonParameters()`.
+    rng:
+        Seed or generator controlling all randomness of the run.
+
+    Returns
+    -------
+    SolveResult
+        The optimum together with the iteration trace.  ``resources`` records
+        the peak number of constraints materialised at once (the eps-net
+        sample plus the stored bases), which is the quantity Theorem 1 bounds
+        in the streaming model.
+    """
+    # Imported lazily: repro.api.config depends on this module, so the
+    # shared deprecation helper cannot be imported at module load time.
+    from ..api.registry import warn_legacy_entry_point
+
+    warn_legacy_entry_point("clarkson_solve", "sequential")
+    return _clarkson_solve(problem, params=params, rng=rng)

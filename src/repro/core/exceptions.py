@@ -40,6 +40,24 @@ class InvalidInstanceError(ReproError):
     """
 
 
+class InvalidConfigError(ReproError, ValueError):
+    """Raised when a :class:`repro.api.config.SolverConfig` is invalid.
+
+    The message always names the offending field (e.g. ``MPCConfig.delta``)
+    so that callers of the facade can correct the configuration without
+    digging through a driver traceback.  Also raised for configuration keys
+    that a model does not support.
+    """
+
+
+class RegistryError(ReproError, LookupError):
+    """Raised on misuse of the model / problem registry.
+
+    Looking up a name that was never registered (the message lists the
+    registered names), or registering the same name twice.
+    """
+
+
 class IterationLimitError(ReproError):
     """Raised when the meta-algorithm exceeds its iteration budget.
 

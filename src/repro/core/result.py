@@ -9,7 +9,7 @@ costs the paper's theorems are about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 __all__ = ["IterationRecord", "ResourceUsage", "SolveResult"]
 
@@ -62,20 +62,63 @@ class ResourceUsage:
     machine_count: int = 0
     per_round: list[Mapping[str, int]] = field(default_factory=list)
 
+    #: Fields that add up across independent runs (``mode="sum"``).
+    _ADDITIVE_FIELDS = (
+        "passes",
+        "space_peak_items",
+        "space_peak_bits",
+        "rounds",
+        "total_communication_bits",
+        "machine_count",
+    )
+    #: Per-message / per-machine maxima: summing them is meaningless, so they
+    #: aggregate by maximum in both modes.
+    _PEAK_FIELDS = ("max_message_bits", "max_machine_load_bits")
+
+    @classmethod
+    def aggregate(
+        cls, usages: Iterable["ResourceUsage"], mode: str = "max"
+    ) -> "ResourceUsage":
+        """Combine the usage records of several runs into one summary.
+
+        Parameters
+        ----------
+        usages:
+            The records to combine (an empty iterable yields an all-zero
+            record).
+        mode:
+            ``"max"`` takes the point-wise maximum of every field (combining
+            sub-phases of one run).  ``"sum"`` adds the additive currencies —
+            passes, space, rounds, communication, machine counts — across
+            independent runs (a batch total), while ``max_message_bits`` and
+            ``max_machine_load_bits`` still aggregate by maximum because they
+            are per-message / per-machine peaks.
+
+        The ``per_round`` logs are not aggregated; the returned record has an
+        empty log.
+        """
+        if mode not in ("max", "sum"):
+            raise ValueError(f"mode must be 'max' or 'sum', got {mode!r}")
+        usages = list(usages)
+        merged = cls()
+        if not usages:
+            return merged
+        for name in cls._ADDITIVE_FIELDS:
+            values = [getattr(usage, name) for usage in usages]
+            setattr(merged, name, sum(values) if mode == "sum" else max(values))
+        for name in cls._PEAK_FIELDS:
+            setattr(merged, name, max(getattr(usage, name) for usage in usages))
+        return merged
+
     def merge_max(self, other: "ResourceUsage") -> None:
-        """Point-wise maximum merge (used when combining sub-phases)."""
-        self.passes = max(self.passes, other.passes)
-        self.space_peak_items = max(self.space_peak_items, other.space_peak_items)
-        self.space_peak_bits = max(self.space_peak_bits, other.space_peak_bits)
-        self.rounds = max(self.rounds, other.rounds)
-        self.total_communication_bits = max(
-            self.total_communication_bits, other.total_communication_bits
-        )
-        self.max_message_bits = max(self.max_message_bits, other.max_message_bits)
-        self.max_machine_load_bits = max(
-            self.max_machine_load_bits, other.max_machine_load_bits
-        )
-        self.machine_count = max(self.machine_count, other.machine_count)
+        """Point-wise maximum merge (used when combining sub-phases).
+
+        Shim over :meth:`aggregate` with ``mode="max"``, kept for callers
+        that update a record in place.
+        """
+        merged = ResourceUsage.aggregate([self, other], mode="max")
+        for name in self._ADDITIVE_FIELDS + self._PEAK_FIELDS:
+            setattr(self, name, getattr(merged, name))
 
 
 @dataclass

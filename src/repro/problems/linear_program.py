@@ -309,3 +309,16 @@ class LinearProgram(LPTypeProblem):
             lexicographic=self.lexicographic,
             tolerance=self.tolerance,
         )
+
+
+from ..api.registry import register_problem  # noqa: E402  (import-time registration)
+
+register_problem(
+    "linear_program",
+    LinearProgram,
+    description=(
+        "Low-dimensional linear program min c'x s.t. Ax <= b, intersected "
+        "with a bounding box (Theorem 4)."
+    ),
+    tags=("optimization", "lp"),
+)

@@ -246,3 +246,16 @@ def badoiu_clarkson_meb(
         center = center + (pts[farthest] - center) / (k + 1.0)
     radius = float(np.max(np.linalg.norm(pts - center, axis=1)))
     return Ball(center=center, radius=radius)
+
+
+from ..api.registry import register_problem  # noqa: E402  (import-time registration)
+
+register_problem(
+    "minimum_enclosing_ball",
+    MinimumEnclosingBall,
+    description=(
+        "Minimum enclosing ball of a point set (Theorem 6; core vector "
+        "machines)."
+    ),
+    tags=("geometry",),
+)

@@ -305,3 +305,16 @@ class ConvexQuadraticProgram(LPTypeProblem):
         scale = np.maximum(1.0, np.maximum(np.abs(rows).max(axis=1), np.abs(rhs)))
         tight = idx[slack <= 1e-4 * scale + 1e-4]
         return tuple(int(i) for i in tight[: self.combinatorial_dimension])
+
+
+from ..api.registry import register_problem  # noqa: E402  (import-time registration)
+
+register_problem(
+    "quadratic_program",
+    ConvexQuadraticProgram,
+    description=(
+        "Convex quadratic program min (1/2) x'Qx + q'x s.t. Gx >= h (the "
+        "generic form behind the SVM and MEB reductions)."
+    ),
+    tags=("optimization", "qp"),
+)

@@ -192,3 +192,16 @@ class LinearSVM(LPTypeProblem):
         """Predicted labels (+1 / -1) of ``points`` under hyperplane ``u``."""
         scores = np.asarray(points, dtype=float) @ np.asarray(u, dtype=float)
         return np.where(scores >= 0.0, 1.0, -1.0)
+
+
+from ..api.registry import register_problem  # noqa: E402  (import-time registration)
+
+register_problem(
+    "linear_svm",
+    LinearSVM,
+    description=(
+        "Hard-margin linear SVM over labelled points (Theorem 5; maximum "
+        "margin separator)."
+    ),
+    tags=("learning",),
+)

@@ -1,0 +1,247 @@
+"""Facade-vs-legacy parity: ``repro.solve()`` equals the old entry points.
+
+The acceptance bar of the API redesign: for every model and every problem
+family, ``solve(problem, model=m, ...)`` and ``solve_many([problem],
+model=m, ...)[0]`` must return results *identical* to the corresponding
+legacy entry point under the same seed — same optimum, same witness, same
+basis, and the same resource accounting — while the legacy entry points
+keep working but emit ``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import compare_models, solve, solve_many
+from repro.algorithms import (
+    coordinator_clarkson_solve,
+    mpc_clarkson_solve,
+    streaming_clarkson_solve,
+)
+from repro.core.clarkson import clarkson_solve
+from repro.problems import ConvexQuadraticProgram, MinimumEnclosingBall
+from repro.workloads import (
+    make_separable_classification,
+    random_polytope_lp,
+    svm_problem,
+    uniform_ball_points,
+)
+
+from tests.conftest import assert_objective_close, fast_params
+
+SEED = 0
+FAST = dict(sample_size=400, success_threshold=0.02, max_iterations=500)
+
+
+def _lp_instance():
+    return random_polytope_lp(1000, 2, seed=41).problem
+
+
+def _meb_instance():
+    return MinimumEnclosingBall(points=uniform_ball_points(1000, 2, radius=2.0, seed=42))
+
+
+def _svm_instance():
+    data = make_separable_classification(900, 2, seed=43, margin=0.4)
+    return svm_problem(data)
+
+
+def _qp_instance():
+    rng = np.random.default_rng(44)
+    d = 2
+    g = rng.normal(size=(900, d))
+    g /= np.linalg.norm(g, axis=1, keepdims=True)
+    h = g.sum(axis=1) * 5.0 - rng.uniform(0.5, 4.0, size=900)
+    return ConvexQuadraticProgram(
+        q_matrix=np.eye(d) * 2.0, q_vector=np.ones(d), g_matrix=g, h_vector=h
+    )
+
+
+PROBLEMS = {
+    "lp": _lp_instance,
+    "meb": _meb_instance,
+    "svm": _svm_instance,
+    "qp": _qp_instance,
+}
+
+
+def _legacy(entry_point, problem, **kwargs):
+    """Run a deprecated entry point with its warning silenced."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return entry_point(problem, params=fast_params(), rng=SEED, **kwargs)
+
+
+LEGACY_CALLS = {
+    "sequential": lambda problem: _legacy(clarkson_solve, problem),
+    "streaming": lambda problem: _legacy(streaming_clarkson_solve, problem, r=2),
+    "coordinator": lambda problem: _legacy(
+        coordinator_clarkson_solve, problem, num_sites=4, r=2
+    ),
+    "mpc": lambda problem: _legacy(mpc_clarkson_solve, problem, delta=0.5),
+}
+
+FACADE_KWARGS = {
+    "sequential": dict(),
+    "streaming": dict(r=2),
+    "coordinator": dict(r=2, num_sites=4),
+    "mpc": dict(delta=0.5),
+}
+
+
+def _scalar(value):
+    for attr in ("objective", "radius", "squared_norm"):
+        if hasattr(value, attr):
+            return float(getattr(value, attr))
+    return float(value)
+
+
+def _witness_vector(witness):
+    """Flatten any witness (array, lexicographic point, Ball) for comparison."""
+    if witness is None:
+        return np.empty(0)
+    if hasattr(witness, "center"):  # MEB Ball
+        return np.concatenate(
+            [np.asarray(witness.center, dtype=float).ravel(), [float(witness.radius)]]
+        )
+    return np.asarray(witness, dtype=float).ravel()
+
+
+def assert_results_identical(facade_result, legacy_result):
+    """Same optimum, same certificate, same resource semantics."""
+    assert _scalar(facade_result.value) == _scalar(legacy_result.value)
+    assert facade_result.basis_indices == legacy_result.basis_indices
+    assert np.allclose(
+        _witness_vector(facade_result.witness), _witness_vector(legacy_result.witness)
+    )
+    assert facade_result.iterations == legacy_result.iterations
+    assert facade_result.successful_iterations == legacy_result.successful_iterations
+    assert facade_result.resources == legacy_result.resources
+    assert facade_result.metadata == legacy_result.metadata
+
+
+@pytest.mark.parametrize("model", sorted(LEGACY_CALLS))
+@pytest.mark.parametrize("problem_name", sorted(PROBLEMS))
+def test_solve_matches_legacy_entry_point(model, problem_name):
+    problem = PROBLEMS[problem_name]()
+    facade_result = solve(problem, model=model, seed=SEED, **FAST, **FACADE_KWARGS[model])
+    legacy_result = LEGACY_CALLS[model](problem)
+    assert_results_identical(facade_result, legacy_result)
+
+
+@pytest.mark.parametrize("model", sorted(LEGACY_CALLS))
+def test_solve_many_single_instance_matches_legacy(model):
+    problem = _lp_instance()
+    root_seed = 123
+    batch = solve_many(
+        [problem], model=model, root_seed=root_seed, **FAST, **FACADE_KWARGS[model]
+    )
+    assert len(batch) == 1
+    # solve_many derives the instance seed as SeedSequence(root).spawn(1)[0];
+    # the legacy entry point fed the same child seed must agree exactly.
+    child = np.random.SeedSequence(root_seed).spawn(1)[0]
+    facade_result = batch[0]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy_entry = {
+            "sequential": clarkson_solve,
+            "streaming": streaming_clarkson_solve,
+            "coordinator": coordinator_clarkson_solve,
+            "mpc": mpc_clarkson_solve,
+        }[model]
+        kwargs = {
+            "sequential": dict(),
+            "streaming": dict(r=2),
+            "coordinator": dict(num_sites=4, r=2),
+            "mpc": dict(delta=0.5),
+        }[model]
+        legacy_result = legacy_entry(problem, params=fast_params(), rng=child, **kwargs)
+    assert_results_identical(facade_result, legacy_result)
+
+
+@pytest.mark.parametrize(
+    "entry_point, kwargs",
+    [
+        (clarkson_solve, dict()),
+        (streaming_clarkson_solve, dict(r=2)),
+        (coordinator_clarkson_solve, dict(num_sites=2, r=2)),
+        (mpc_clarkson_solve, dict(delta=0.5)),
+    ],
+)
+def test_legacy_entry_points_emit_deprecation_warning(tiny_lp, entry_point, kwargs):
+    with pytest.warns(DeprecationWarning, match="repro.solve"):
+        result = entry_point(tiny_lp, rng=0, **kwargs)
+    assert result.basis_indices  # still fully functional
+
+
+def test_compare_models_runs_the_four_theorem_models(medium_lp):
+    results = compare_models(
+        medium_lp, seed=SEED, num_sites=3, delta=0.5, **FAST
+    )
+    assert sorted(results) == ["coordinator", "mpc", "sequential", "streaming"]
+    reference = results["sequential"]
+    for name, result in results.items():
+        assert_objective_close(result.value, reference.value)
+    # each model reports costs in its own currency
+    assert results["streaming"].resources.passes > 0
+    assert results["coordinator"].resources.total_communication_bits > 0
+    assert results["mpc"].resources.max_machine_load_bits > 0
+
+
+def test_compare_models_with_explicit_model_list(medium_lp):
+    results = compare_models(
+        medium_lp,
+        models=("exact", "streaming"),
+        seed=SEED,
+        **FAST,
+    )
+    assert sorted(results) == ["exact", "streaming"]
+    assert_objective_close(results["exact"].value, results["streaming"].value)
+
+
+def test_compare_models_rejects_key_unknown_to_all(medium_lp):
+    from repro.core.exceptions import InvalidConfigError
+
+    with pytest.raises(InvalidConfigError, match="bogus"):
+        compare_models(medium_lp, models=("sequential", "streaming"), bogus=1)
+
+
+def test_base_config_coerces_to_model_config(medium_lp):
+    """One base SolverConfig seeds models with richer config classes."""
+    from repro import SolverConfig
+
+    base = SolverConfig(r=2, seed=SEED, **{k: v for k, v in FAST.items()})
+    result = solve(medium_lp, model="coordinator", config=base, num_sites=3)
+    direct = solve(medium_lp, model="coordinator", seed=SEED, num_sites=3, **FAST)
+    assert_results_identical(result, direct)
+
+
+def test_subclass_config_coerces_to_narrower_model_config(medium_lp):
+    """A richer config seeds a model with a narrower config class: the
+    subclass-only fields are dropped instead of raising (regression)."""
+    from repro import StreamingConfig
+
+    cfg = StreamingConfig(r=2, seed=SEED, **FAST)
+    result = solve(medium_lp, model="sequential", config=cfg, max_iterations=400)
+    direct = solve(medium_lp, model="sequential", seed=SEED, max_iterations=400,
+                   **{k: v for k, v in FAST.items() if k != "max_iterations"})
+    assert_results_identical(result, direct)
+    results = compare_models(medium_lp, config=cfg, num_sites=3, delta=0.5)
+    assert sorted(results) == ["coordinator", "mpc", "sequential", "streaming"]
+
+
+def test_baseline_models_reachable_from_facade(medium_lp):
+    exact = solve(medium_lp, model="exact")
+    ship = solve(medium_lp, model="ship_all_coordinator", num_sites=4)
+    single = solve(medium_lp, model="single_pass_streaming")
+    assert_objective_close(exact.value, ship.value)
+    assert_objective_close(exact.value, single.value)
+    assert ship.resources.total_communication_bits > 0
+    assert single.resources.passes == 1
+    classic = solve(medium_lp, model="classic_reweighting", seed=SEED, **FAST)
+    assert classic.metadata["algorithm"] == "clarkson_classic_reweighting"
+    assert classic.metadata["boost"] == 2.0  # the baseline's defining knob
+    assert_objective_close(exact.value, classic.value)
