@@ -1,0 +1,310 @@
+"""The canonical perf suite: one scenario grid, one machine-readable BENCH.json.
+
+This is the arbiter for every perf-focused PR: a fixed grid of
+``model x problem family x size tier`` scenarios, each driven through the
+``repro.solve()`` front door with the practical profile and a pinned seed, so
+two runs of the same tier on the same machine measure the same work.  The
+output is ``BENCH.json`` (schema ``repro-bench/1``, documented in
+``docs/performance.md``): per-scenario wall time, iteration count, violation
+oracle calls, basis-cache hit rate, and modelled peak bytes, plus the
+geometric-mean wall time that headline comparisons quote.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_suite.py --tier small -o BENCH.json
+    PYTHONPATH=src python benchmarks/run_suite.py --tier medium --repeats 5
+    # CI regression gate: fail if any scenario is > 2x slower than baseline
+    PYTHONPATH=src python benchmarks/run_suite.py --tier small \
+        --baseline benchmarks/bench_baseline_small.json --max-regression 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import statistics
+import sys
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro import SolverConfig, solve
+from repro.core.lptype import LPTypeProblem
+from repro.problems.meb import MinimumEnclosingBall
+from repro.problems.qp import ConvexQuadraticProgram
+from repro.workloads import (
+    make_separable_classification,
+    random_polytope_lp,
+    svm_problem,
+    uniform_ball_points,
+)
+
+SCHEMA = "repro-bench/1"
+
+#: Constraint counts per tier (shared by all four problem families).
+TIERS = {"small": 2_000, "medium": 100_000, "large": 250_000}
+
+#: Ambient dimension of every scenario (the paper's regime is n >> d).
+DIMENSION = 3
+
+MODELS = ("sequential", "streaming", "coordinator", "mpc")
+PROBLEMS = ("lp", "meb", "svm", "qp")
+
+#: Model-specific overrides applied on top of the practical profile.
+MODEL_OVERRIDES = {
+    "sequential": {},
+    "streaming": {},
+    "coordinator": {"num_sites": 4},
+    "mpc": {"delta": 0.5},
+}
+
+
+def _random_qp(n: int, d: int, seed: int) -> ConvexQuadraticProgram:
+    """A strictly convex QP with ``n`` constraints, feasible by construction."""
+    rng = np.random.default_rng(seed)
+    q_matrix = np.diag(np.linspace(1.0, 2.0, d))
+    q_vector = rng.normal(size=d)
+    normals = rng.normal(size=(n, d))
+    normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+    anchor = rng.uniform(-1.0, 1.0, size=d)
+    slack = rng.uniform(0.1, 1.0, size=n)
+    h_vector = normals @ anchor - slack
+    return ConvexQuadraticProgram(q_matrix, q_vector, normals, h_vector)
+
+
+def _build_problem(family: str, n: int, seed: int) -> LPTypeProblem:
+    if family == "lp":
+        return random_polytope_lp(n, DIMENSION, seed=seed).problem
+    if family == "meb":
+        return MinimumEnclosingBall(uniform_ball_points(n, DIMENSION, seed=seed))
+    if family == "svm":
+        return svm_problem(make_separable_classification(n, DIMENSION, seed=seed))
+    if family == "qp":
+        return _random_qp(n, DIMENSION, seed)
+    raise ValueError(f"unknown problem family {family!r}")
+
+
+def _scenario_seed(family: str, model: str, n: int) -> int:
+    """A stable per-scenario seed (instance and solver share the grid key).
+
+    ``zlib.crc32`` rather than ``hash()``: the latter is salted per process,
+    which would re-seed every run of the suite.
+    """
+    return zlib.crc32(f"{family}:{model}:{n}".encode()) % (2**31)
+
+
+def _peak_bytes(result, problem: LPTypeProblem) -> int:
+    """Modelled peak footprint of the run in bytes (per-model currency).
+
+    streaming: peak stored bits; sequential: peak materialised constraints
+    at ``bit_size`` bits each; mpc: peak per-machine load; coordinator:
+    total communication.  See docs/performance.md.
+    """
+    res = result.resources
+    if res.space_peak_bits:
+        return res.space_peak_bits // 8
+    if res.space_peak_items:
+        return res.space_peak_items * problem.bit_size() // 8
+    if res.max_machine_load_bits:
+        return res.max_machine_load_bits // 8
+    return res.total_communication_bits // 8
+
+
+def _objective(result) -> float | None:
+    value = result.value
+    scalar = getattr(value, "objective", None)
+    if scalar is None:
+        scalar = getattr(value, "radius", None)
+    if scalar is None:
+        scalar = getattr(value, "squared_norm", None)
+    try:
+        return round(float(scalar), 9) if scalar is not None else None
+    except (TypeError, ValueError):
+        return None
+
+
+@dataclass
+class Scenario:
+    family: str
+    model: str
+    tier: str
+    n: int
+
+    @property
+    def scenario_id(self) -> str:
+        return f"{self.family}:{self.model}:{self.tier}"
+
+    def run(self, repeats: int) -> dict:
+        seed = _scenario_seed(self.family, self.model, self.n)
+        problem = _build_problem(self.family, self.n, seed)
+        config = SolverConfig.practical(problem, r=2, keep_trace=False, seed=seed)
+        overrides = MODEL_OVERRIDES[self.model]
+
+        walls: list[float] = []
+        result = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = solve(problem, model=self.model, config=config, **overrides)
+            walls.append(time.perf_counter() - start)
+
+        res = result.resources
+        hits = getattr(res, "basis_cache_hits", 0)
+        misses = getattr(res, "basis_cache_misses", 0)
+        total = hits + misses
+        return {
+            "id": self.scenario_id,
+            "problem": self.family,
+            "model": self.model,
+            "tier": self.tier,
+            "n": self.n,
+            "d": DIMENSION,
+            "seed": seed,
+            "wall_time_s": round(statistics.median(walls), 6),
+            "wall_times_s": [round(w, 6) for w in walls],
+            "iterations": result.iterations,
+            "oracle_calls": int(getattr(res, "oracle_calls", 0)),
+            "cache_hits": int(hits),
+            "cache_misses": int(misses),
+            "cache_hit_rate": round(hits / total, 4) if total else None,
+            "peak_bytes": int(_peak_bytes(result, problem)),
+            "objective": _objective(result),
+        }
+
+
+def build_grid(tier: str, models: list[str], problems: list[str]) -> list[Scenario]:
+    n = TIERS[tier]
+    return [
+        Scenario(family=family, model=model, tier=tier, n=n)
+        for family in problems
+        for model in models
+    ]
+
+
+def geomean(values: list[float]) -> float:
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def compare_to_baseline(
+    report: dict,
+    baseline_path: str,
+    max_regression: float,
+    noise_floor_s: float = 0.015,
+) -> int:
+    """Per-scenario regression gate; returns a process exit code.
+
+    The gated ratio is computed against ``max(baseline, noise_floor_s)``:
+    single-digit-millisecond scenarios (whose wall times are dominated by
+    scheduler noise on shared CI runners) only fail once they regress past
+    the absolute floor times ``max_regression``, not on jitter.  Both the
+    raw vs-baseline ratio and the gated vs-floor ratio are reported.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    base_by_id = {s["id"]: s for s in baseline.get("scenarios", [])}
+    failures = []
+    missing = []
+    for scenario in report["scenarios"]:
+        base = base_by_id.get(scenario["id"])
+        if base is None or base["wall_time_s"] <= 0:
+            # A silently skipped scenario would make the gate pass vacuously;
+            # an unmatched id means the baseline is stale — fail loudly.
+            print(f"[missing-baseline] {scenario['id']}: no usable baseline entry")
+            missing.append(scenario["id"])
+            continue
+        raw_ratio = scenario["wall_time_s"] / base["wall_time_s"]
+        gated_ratio = scenario["wall_time_s"] / max(base["wall_time_s"], noise_floor_s)
+        marker = "FAIL" if gated_ratio > max_regression else "ok"
+        floored = " (floored)" if base["wall_time_s"] < noise_floor_s else ""
+        print(
+            f"[{marker}] {scenario['id']}: {scenario['wall_time_s']:.4f}s "
+            f"vs baseline {base['wall_time_s']:.4f}s = {raw_ratio:.2f}x, "
+            f"gated {gated_ratio:.2f}x{floored}"
+        )
+        if gated_ratio > max_regression:
+            failures.append((scenario["id"], gated_ratio))
+    if missing:
+        print(
+            f"{len(missing)} scenario(s) have no baseline entry in {baseline_path}; "
+            f"refresh the baseline to cover: {', '.join(missing)}"
+        )
+    if failures:
+        print(
+            f"{len(failures)} scenario(s) regressed more than "
+            f"{max_regression:.1f}x: {', '.join(f'{i} ({r:.2f}x)' for i, r in failures)}"
+        )
+    if missing or failures:
+        return 1
+    print(f"no scenario regressed more than {max_regression:.1f}x vs {baseline_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tier", choices=sorted(TIERS), default="small")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--models", nargs="+", default=list(MODELS), choices=MODELS)
+    parser.add_argument("--problems", nargs="+", default=list(PROBLEMS), choices=PROBLEMS)
+    parser.add_argument("-o", "--output", default="BENCH.json")
+    parser.add_argument(
+        "--baseline", default=None, help="baseline BENCH.json to gate regressions against"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="maximum allowed wall-time ratio vs the baseline (with --baseline)",
+    )
+    parser.add_argument(
+        "--noise-floor-s",
+        type=float,
+        default=0.015,
+        help="baseline wall times are clamped up to this before the ratio test",
+    )
+    args = parser.parse_args(argv)
+
+    grid = build_grid(args.tier, args.models, args.problems)
+    scenarios = []
+    for scenario in grid:
+        row = scenario.run(max(1, args.repeats))
+        scenarios.append(row)
+        print(
+            f"{row['id']}: {row['wall_time_s']:.4f}s, {row['iterations']} iterations, "
+            f"{row['oracle_calls']} oracle calls, cache hit rate {row['cache_hit_rate']}"
+        )
+
+    report = {
+        "schema": SCHEMA,
+        "tier": args.tier,
+        "repeats": args.repeats,
+        "dimension": DIMENSION,
+        "n": TIERS[args.tier],
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "scenarios": scenarios,
+        "geomean_wall_time_s": round(
+            geomean([s["wall_time_s"] for s in scenarios]), 6
+        ),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"geomean wall time: {report['geomean_wall_time_s']:.4f}s -> {args.output}")
+
+    if args.baseline:
+        return compare_to_baseline(
+            report, args.baseline, args.max_regression, args.noise_floor_s
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

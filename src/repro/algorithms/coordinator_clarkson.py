@@ -269,6 +269,7 @@ def _coordinator_clarkson_solve(
             budget=iteration_budget(problem, params.r, params.max_iterations),
             keep_trace=params.keep_trace,
             name="coordinator Clarkson",
+            basis_cache=params.basis_cache,
         ),
     )
     outcome = engine.run()
@@ -278,6 +279,9 @@ def _coordinator_clarkson_solve(
         total_communication_bits=network.total_bits,
         max_message_bits=network.max_message_bits,
         machine_count=network.num_sites,
+        oracle_calls=state.oracle.calls,
+        basis_cache_hits=outcome.cache_hits,
+        basis_cache_misses=outcome.cache_misses,
     )
     return SolveResult(
         value=outcome.basis.value,

@@ -49,6 +49,7 @@ from ..core.exceptions import IterationLimitError
 from ..core.lptype import BasisResult, LPTypeProblem
 from ..core.result import ResourceUsage, SolveResult
 from ..core.rng import SeedLike, as_generator, spawn
+from ..core.sampling import gumbel_top_k
 from ..core.weights import boost_factor
 from ..models.mpc import MPCCluster
 from ..models.partition import partition_indices
@@ -95,15 +96,40 @@ class _MPCState:
         # driver).
         self.stored_witnesses: list[object] = []
         self.total_weight = 0.0
+        self._all_indices = problem.all_indices()
+        self._weights_cache: np.ndarray | None = None
+        self._log_weights_cache: np.ndarray | None = None
+        self._weights_version = -1
+
+    def global_implicit_weights(self) -> np.ndarray:
+        """Relative implicit weights of every constraint, one sweep per state.
+
+        Each machine's weights depend only on its own constraints and the
+        globally broadcast bases, so the simulator evaluates the whole weight
+        vector in one ``violation_count_matrix`` call per stored-basis state
+        and hands each machine its slice — the values are identical to
+        per-machine evaluation (the exponent of row ``i`` involves only row
+        ``i``), just without a Python-level loop over ``~n^{1-delta}``
+        machines.  Weights are relative to ``boost ** num_bases`` to stay
+        finite.
+        """
+        version = len(self.stored_witnesses)
+        if self._weights_version != version:
+            exponents = self.oracle.count_matrix(self.stored_witnesses, self._all_indices)
+            relative = (exponents - version).astype(float)
+            self._log_weights_cache = relative * float(np.log(self.boost))
+            self._weights_cache = self.boost ** relative
+            self._weights_version = version
+        return self._weights_cache
+
+    def global_log_weights(self) -> np.ndarray:
+        """``log`` of :meth:`global_implicit_weights` (for Gumbel top-k draws)."""
+        self.global_implicit_weights()
+        return self._log_weights_cache
 
     def local_weights(self, machine_indices: np.ndarray) -> np.ndarray:
-        """Implicit weights of one machine's constraints, vectorised.
-
-        One ``violation_count_matrix`` sweep against all stored bases;
-        weights are relative to ``boost ** num_bases`` to stay finite.
-        """
-        exponents = self.oracle.count_matrix(self.stored_witnesses, machine_indices)
-        return self.boost ** (exponents - len(self.stored_witnesses)).astype(float)
+        """Implicit weights of one machine's constraints (a global-sweep slice)."""
+        return self.global_implicit_weights()[machine_indices]
 
 
 class TreeRoundSampling(SamplingStrategy):
@@ -137,6 +163,7 @@ class TreeRoundSampling(SamplingStrategy):
         # -------- local sampling, shipped to the coordinator -------- #
         cluster.begin_round()
         sampled_indices: list[int] = []
+        log_weights_all = state.global_log_weights()
         for machine in cluster.machines:
             if machine.num_local == 0:
                 continue
@@ -150,9 +177,13 @@ class TreeRoundSampling(SamplingStrategy):
             draws = min(draws, machine.num_local)
             if draws == 0:
                 continue
-            probabilities = weights / weights.sum()
-            chosen_positions = state.machine_rngs[machine.machine_id].choice(
-                machine.num_local, size=draws, replace=False, p=probabilities
+            # Gumbel top-k on the machine's log weights: the same successive
+            # weighted sampling without replacement as ``Generator.choice``
+            # with probabilities, at one vectorised key draw per machine.
+            chosen_positions = gumbel_top_k(
+                log_weights_all[machine.local_indices],
+                draws,
+                rng=state.machine_rngs[machine.machine_id],
             )
             chosen = machine.local_indices[chosen_positions]
             sampled_indices.extend(int(i) for i in chosen)
@@ -184,13 +215,17 @@ class TreeImplicitSubstrate(WeightSubstrate):
         cluster.broadcast_tree(_COORDINATOR, basis_bits, state.fanout)
 
         # -------- violation statistics via an aggregation tree -------- #
+        # One global sweep for the weights and the mask; each machine's
+        # statistics are slices of it (identical values, no per-machine call).
         per_machine_stats = []
+        weights_all = state.global_implicit_weights()
+        mask_all = state.oracle.mask(basis.witness, state._all_indices)
         for machine in cluster.machines:
             if machine.num_local == 0:
                 per_machine_stats.append((0.0, 0))
                 continue
-            weights = state.local_weights(machine.local_indices)
-            mask = state.oracle.mask(basis.witness, machine.local_indices)
+            weights = weights_all[machine.local_indices]
+            mask = mask_all[machine.local_indices]
             per_machine_stats.append((float(weights[mask].sum()), int(mask.sum())))
         _, aggregate = cluster.aggregate_tree(
             _COORDINATOR,
@@ -289,6 +324,7 @@ def _mpc_clarkson_solve(
             budget=iteration_budget(problem, params.r, params.max_iterations),
             keep_trace=params.keep_trace,
             name="MPC Clarkson",
+            basis_cache=params.basis_cache,
         ),
     )
     outcome = engine.run()
@@ -298,6 +334,9 @@ def _mpc_clarkson_solve(
         max_machine_load_bits=cluster.max_load_bits,
         total_communication_bits=cluster.total_bits,
         machine_count=cluster.num_machines,
+        oracle_calls=state.oracle.calls,
+        basis_cache_hits=outcome.cache_hits,
+        basis_cache_misses=outcome.cache_misses,
     )
     return SolveResult(
         value=outcome.basis.value,

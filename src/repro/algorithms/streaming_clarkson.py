@@ -38,7 +38,6 @@ only provides the streaming substrate binding.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, replace
 from typing import Iterator, Sequence
 
@@ -106,12 +105,7 @@ class _StreamingState:
 
     def scan_chunks(self) -> Iterator[np.ndarray]:
         """One pass over the stream, yielded as bounded index chunks."""
-        scan = self.stream.scan()
-        while True:
-            chunk = np.fromiter(itertools.islice(scan, _CHUNK_ITEMS), dtype=int)
-            if chunk.size == 0:
-                return
-            yield chunk
+        return self.stream.scan_chunks(_CHUNK_ITEMS)
 
     def implicit_weights(self, indices: np.ndarray) -> np.ndarray:
         """Relative implicit weights of one chunk, in one vectorised sweep.
@@ -220,7 +214,7 @@ def _streaming_clarkson_solve(
     sample_size, epsilon = resolve_sampling(problem, params)
     if sample_size >= n:
         # The sample would contain the whole stream: one pass, full storage.
-        for _ in stream.scan():
+        for _ in stream.scan_chunks(_CHUNK_ITEMS):
             pass
         result = solve_small_problem(problem)
         result.resources.passes = stream.passes
@@ -248,6 +242,7 @@ def _streaming_clarkson_solve(
             budget=iteration_budget(problem, params.r, params.max_iterations),
             keep_trace=params.keep_trace,
             name="streaming Clarkson",
+            basis_cache=params.basis_cache,
         ),
     )
     outcome = engine.run()
@@ -256,6 +251,9 @@ def _streaming_clarkson_solve(
         passes=stream.passes,
         space_peak_items=memory.peak_items,
         space_peak_bits=memory.peak_bits,
+        oracle_calls=state.oracle.calls,
+        basis_cache_hits=outcome.cache_hits,
+        basis_cache_misses=outcome.cache_misses,
     )
     return SolveResult(
         value=outcome.basis.value,

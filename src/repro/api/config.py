@@ -71,6 +71,10 @@ class SolverConfig:
     max_iterations:
         Hard iteration budget (``>= 1``; ``None`` derives the Lemma 3.3
         bound).
+    basis_cache:
+        Whether the engine memoises basis solves of repeated index sets
+        within a run (hit/miss counters are reported in
+        ``ResourceUsage.basis_cache_hits`` / ``_misses``).
     sample_size:
         Explicit eps-net sample size override (``>= 1``).
     success_threshold:
@@ -84,6 +88,7 @@ class SolverConfig:
     failure_probability: float = 1.0 / 3.0
     boost: Optional[float] = None
     max_iterations: Optional[int] = None
+    basis_cache: bool = True
     sample_size: Optional[int] = None
     success_threshold: Optional[float] = None
 
@@ -128,6 +133,7 @@ class SolverConfig:
             boost=self.boost,
             max_iterations=self.max_iterations,
             keep_trace=self.keep_trace,
+            basis_cache=self.basis_cache,
             sample_size=self.sample_size,
             success_threshold=self.success_threshold,
         )

@@ -20,6 +20,7 @@ from .engine import (
     EngineConfig,
     ExplicitWeightSubstrate,
     InMemorySampling,
+    ViolationOracle,
     iteration_budget,
 )
 from .epsnet import EpsNetSpec
@@ -62,6 +63,9 @@ class ClarksonParameters:
         the Lemma 3.3 bound (with a generous constant).
     keep_trace:
         Whether to record an :class:`IterationRecord` per iteration.
+    basis_cache:
+        Whether the engine memoises basis solves of repeated index sets
+        (per-run cache; see :class:`repro.core.engine.BasisCache`).
     sample_size:
         Explicit eps-net sample size.  ``None`` (default) uses the
         Haussler-Welzl bound of Lemma 2.2 with the paper's constants; the
@@ -79,6 +83,7 @@ class ClarksonParameters:
     boost: Optional[float] = None
     max_iterations: Optional[int] = None
     keep_trace: bool = True
+    basis_cache: bool = True
     sample_size: Optional[int] = None
     success_threshold: Optional[float] = None
 
@@ -194,7 +199,8 @@ def _clarkson_solve(
 
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
     weights = ExplicitWeights.uniform(n, boost)
-    substrate = ExplicitWeightSubstrate(problem, weights)
+    oracle = ViolationOracle(problem)
+    substrate = ExplicitWeightSubstrate(problem, weights, oracle=oracle)
     engine = ClarksonEngine(
         problem=problem,
         sampler=InMemorySampling(weights, gen),
@@ -205,6 +211,7 @@ def _clarkson_solve(
             budget=iteration_budget(problem, params.r, params.max_iterations),
             keep_trace=params.keep_trace,
             name="Algorithm 1",
+            basis_cache=params.basis_cache,
         ),
     )
     outcome = engine.run()
@@ -215,7 +222,12 @@ def _clarkson_solve(
         basis_indices=outcome.basis.indices,
         iterations=outcome.iterations,
         successful_iterations=outcome.successful_iterations,
-        resources=ResourceUsage(space_peak_items=substrate.peak_items),
+        resources=ResourceUsage(
+            space_peak_items=substrate.peak_items,
+            oracle_calls=oracle.calls,
+            basis_cache_hits=outcome.cache_hits,
+            basis_cache_misses=outcome.cache_misses,
+        ),
         trace=outcome.trace,
         metadata={
             "algorithm": "clarkson_sequential",

@@ -33,15 +33,16 @@ engine itself never needs to know which model it is running in.
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from .exceptions import IterationLimitError
+from .exceptions import InvalidConfigError, IterationLimitError
 from .lptype import BasisResult, LPTypeProblem
 from .result import IterationRecord
-from .sampling import weighted_sample_without_replacement
+from .sampling import gumbel_top_k
 from .weights import ExplicitWeights
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "ViolationStats",
     "SamplingStrategy",
     "WeightSubstrate",
+    "BasisCache",
     "EngineConfig",
     "EngineOutcome",
     "ClarksonEngine",
@@ -61,13 +63,18 @@ __all__ = [
 def iteration_budget(problem: LPTypeProblem, r: int, max_iterations: Optional[int]) -> int:
     """Iteration budget shared by all four drivers.
 
-    A positive ``max_iterations`` wins; ``None`` (and non-positive values,
-    matching the historical ``max_iterations or default`` driver behaviour)
-    falls back to a generous version of the ``O(nu * r)`` bound of Lemma 3.3.
+    An explicit ``max_iterations`` wins; ``None`` falls back to a generous
+    version of the ``O(nu * r)`` bound of Lemma 3.3.  Non-positive values are
+    rejected loudly (historically they fell through to the default via
+    truthiness, silently ignoring the caller's budget).
     """
-    if max_iterations:
-        return int(max_iterations)
-    return 40 * problem.combinatorial_dimension * r + 40
+    if max_iterations is None:
+        return 40 * problem.combinatorial_dimension * r + 40
+    if int(max_iterations) < 1:
+        raise InvalidConfigError(
+            f"max_iterations must be >= 1 or None (got {max_iterations!r})"
+        )
+    return int(max_iterations)
 
 
 class ViolationOracle:
@@ -76,23 +83,104 @@ class ViolationOracle:
     A thin adapter over the batch methods of :class:`LPTypeProblem` so that
     strategies and drivers have a single place to ask "which of these
     constraints violate this witness?" and "how many of these witnesses does
-    each constraint violate?" without scalar ``violates`` loops.
+    each constraint violate?" without scalar ``violates`` loops.  The oracle
+    counts its calls (and the constraints they touched) so drivers can report
+    them in :class:`~repro.core.result.ResourceUsage.oracle_calls`.
     """
 
     def __init__(self, problem: LPTypeProblem) -> None:
         self.problem = problem
+        self.calls = 0
+        self.constraints_tested = 0
+
+    def _count(self, indices) -> None:
+        self.calls += 1
+        self.constraints_tested += int(len(indices))
 
     def mask(self, witness: Any, indices: np.ndarray) -> np.ndarray:
         """Boolean mask over ``indices``: which constraints violate ``witness``."""
+        self._count(indices)
         return self.problem.violation_mask(witness, indices)
 
     def violating(self, witness: Any, indices: np.ndarray) -> np.ndarray:
         """Violating indices among ``indices`` (ascending)."""
+        self._count(indices)
         return self.problem.violating_indices(witness, indices)
 
     def count_matrix(self, witnesses: Sequence[Any], indices: np.ndarray) -> np.ndarray:
         """Per-constraint count of violated witnesses (implicit-weight exponents)."""
+        self._count(indices)
         return self.problem.violation_count_matrix(witnesses, indices)
+
+
+class BasisCache:
+    """Memo of ``solve_subset`` results keyed by the sorted index tuple.
+
+    Clarkson re-solves heavily overlapping index sets: the terminal
+    iterations of a run tend to rediscover the optimal basis, repeated runs
+    re-solve the same samples, and every solved sample also certifies its own
+    basis (``f(B) = f(A)`` for a basis ``B`` of ``A``), which is entered as a
+    second key.  The cache is owned by one :class:`ClarksonEngine` — never
+    shared across runs — so cached entries can only be observed by the run
+    that computed them and repeated solves stay bit-identical.
+
+    Index tuples are digested to 128-bit BLAKE2 fingerprints before storage,
+    so an entry costs the fingerprint plus the (small) :class:`BasisResult`
+    — the eps-net sample tuples themselves are never retained.  Like the
+    streaming driver's chunk buffers, the cache is *simulator-side* scratch:
+    it memoises the host's basis computations and is deliberately excluded
+    from the modelled space/load accounting of the paper's theorems (see
+    ``EXPERIMENTS.md`` on simulator scratch vs. modelled footprint).
+
+    Eviction is insertion-ordered (FIFO) with a small fixed capacity; hits
+    and misses are surfaced through
+    :class:`~repro.core.result.ResourceUsage.basis_cache_hits` / ``_misses``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[bytes, BasisResult] = {}
+
+    @staticmethod
+    def _digest(key: tuple[int, ...]) -> bytes:
+        payload = np.asarray(key, dtype=np.int64).tobytes()
+        return hashlib.blake2b(payload, digest_size=16).digest()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple[int, ...]) -> BasisResult | None:
+        entry = self._entries.get(self._digest(key))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(self, key: tuple[int, ...], basis: BasisResult) -> None:
+        digest = self._digest(key)
+        if digest not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[digest] = basis
+
+    def record(self, key: tuple[int, ...], basis: BasisResult) -> None:
+        """Store a solved sample and seed the entry for its own basis."""
+        self.put(key, basis)
+        basis_key = tuple(sorted(int(i) for i in basis.indices))
+        if basis_key and basis_key != key:
+            self.put(
+                basis_key,
+                BasisResult(
+                    indices=basis.indices,
+                    value=basis.value,
+                    witness=basis.witness,
+                    subset_size=len(basis.indices),
+                ),
+            )
 
 
 @dataclass(frozen=True)
@@ -155,6 +243,8 @@ class EngineConfig:
     budget: int
     keep_trace: bool = True
     name: str = "clarkson"
+    basis_cache: bool = True
+    basis_cache_capacity: int = 256
 
 
 @dataclass
@@ -165,6 +255,8 @@ class EngineOutcome:
     iterations: int
     successful_iterations: int
     trace: list[IterationRecord] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 class ClarksonEngine:
@@ -187,6 +279,23 @@ class ClarksonEngine:
         self.sampler = sampler
         self.substrate = substrate
         self.config = config
+        # The basis-solve cache is strictly per-engine (= per-run) state:
+        # sharing it across runs would leak one run's numerics into another.
+        self.basis_cache = (
+            BasisCache(config.basis_cache_capacity) if config.basis_cache else None
+        )
+
+    def _solve_sample(self, sample: np.ndarray) -> BasisResult:
+        """Solve the sampled subset, going through the basis cache if enabled."""
+        cache = self.basis_cache
+        if cache is None:
+            return self.problem.solve_subset(sample)
+        key = tuple(sorted(int(i) for i in sample))
+        basis = cache.get(key)
+        if basis is None:
+            basis = self.problem.solve_subset(sample)
+            cache.record(key, basis)
+        return basis
 
     def run(self) -> EngineOutcome:
         config = self.config
@@ -197,7 +306,7 @@ class ClarksonEngine:
 
         for iteration in range(config.budget):
             sample = self.sampler.draw(config.sample_size)
-            basis = self.problem.solve_subset(sample)
+            basis = self._solve_sample(sample)
             stats = self.substrate.measure(sample, basis)
             success = stats.weight_fraction <= config.epsilon
             if config.keep_trace:
@@ -231,6 +340,8 @@ class ClarksonEngine:
             iterations=iterations,
             successful_iterations=successful,
             trace=trace,
+            cache_hits=self.basis_cache.hits if self.basis_cache else 0,
+            cache_misses=self.basis_cache.misses if self.basis_cache else 0,
         )
 
 
@@ -241,16 +352,18 @@ class ClarksonEngine:
 
 
 class InMemorySampling(SamplingStrategy):
-    """Weighted draw without replacement from an explicit weight vector."""
+    """Weighted draw without replacement from an explicit weight vector.
+
+    Draws Gumbel top-k keys directly from the log-space weight vector, so no
+    ``O(n)`` exponentiated copy of the weights is materialised per draw.
+    """
 
     def __init__(self, weights: ExplicitWeights, rng: np.random.Generator) -> None:
         self.weights = weights
         self.rng = rng
 
     def draw(self, sample_size: int) -> np.ndarray:
-        return weighted_sample_without_replacement(
-            self.weights.weights(), sample_size, rng=self.rng
-        )
+        return gumbel_top_k(self.weights.log_weights, sample_size, rng=self.rng)
 
 
 class ExplicitWeightSubstrate(WeightSubstrate):

@@ -23,14 +23,18 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from .exceptions import SolverError
+
 __all__ = [
     "BasisResult",
+    "ConstraintPack",
     "LPTypeProblem",
     "as_index_array",
+    "working_set_solve",
     "check_monotonicity",
     "check_locality",
 ]
@@ -41,6 +45,10 @@ def as_index_array(indices: Iterable[int]) -> np.ndarray:
     if isinstance(indices, np.ndarray):
         return indices.astype(int, copy=False).reshape(-1)
     return np.asarray(list(indices), dtype=int).reshape(-1)
+
+
+#: Sentinel distinguishing "pack not built yet" from "problem has no pack".
+_PACK_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -71,6 +79,104 @@ class BasisResult:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+
+
+class ConstraintPack:
+    """The packed constraint data plane: one contiguous float64 view per problem.
+
+    Every constraint family in the (P1)/(P2) class tested here reduces its
+    violation test to an affine margin against an encoded witness vector::
+
+        margin_j = rows[j] . w + offset - rhs[j]
+
+    where ``(w, offset)`` come from :meth:`LPTypeProblem.encode_witness`.
+    With ``sense = +1`` constraint ``j`` is violated iff ``margin_j >
+    limit[j]`` (upper-bound constraints such as ``a.x <= b``); with ``sense =
+    -1`` iff ``margin_j < -limit[j]`` (lower-bound constraints such as
+    ``g.x >= h``).  ``limit`` carries the per-constraint violation tolerance,
+    precomputed once, so the hot loop is a single matmul plus a comparison —
+    no per-constraint Python objects, no per-call scale recomputation.
+    """
+
+    __slots__ = ("rows", "rhs", "limit", "sense")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        rhs: np.ndarray,
+        limit: np.ndarray | float,
+        sense: int = 1,
+    ) -> None:
+        self.rows = np.ascontiguousarray(rows, dtype=np.float64)
+        if self.rows.ndim != 2:
+            raise ValueError(f"rows must be 2-d, got {self.rows.ndim}-d")
+        self.rhs = np.ascontiguousarray(
+            np.asarray(rhs, dtype=np.float64).reshape(-1)
+        )
+        if self.rhs.size != self.rows.shape[0]:
+            raise ValueError(
+                f"{self.rows.shape[0]} rows but {self.rhs.size} right-hand sides"
+            )
+        limit_arr = np.asarray(limit, dtype=np.float64)
+        if limit_arr.ndim == 0:
+            limit_arr = np.full(self.rhs.size, float(limit_arr))
+        self.limit = np.ascontiguousarray(limit_arr.reshape(-1))
+        if self.limit.size != self.rhs.size:
+            raise ValueError("limit must be a scalar or match the constraint count")
+        if sense not in (1, -1):
+            raise ValueError(f"sense must be +1 or -1, got {sense}")
+        self.sense = int(sense)
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def num_coefficients(self) -> int:
+        return int(self.rows.shape[1])
+
+    def scores(
+        self, encoded: tuple[np.ndarray, float], indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Violation scores over ``indices``: positive iff violated.
+
+        The magnitude is the tolerance-adjusted slack, so sorting by score
+        ranks constraints by how badly the witness breaks them.
+        """
+        vec, offset = encoded
+        if indices is None:
+            rows, rhs, limit = self.rows, self.rhs, self.limit
+        else:
+            rows, rhs, limit = self.rows[indices], self.rhs[indices], self.limit[indices]
+        margins = rows @ np.asarray(vec, dtype=np.float64) + (float(offset) - rhs)
+        if self.sense < 0:
+            margins = -margins
+        return margins - limit
+
+    def mask(
+        self, encoded: tuple[np.ndarray, float], indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Boolean violation mask over ``indices`` for one encoded witness."""
+        return self.scores(encoded, indices) > 0.0
+
+    def count_matrix(
+        self,
+        encodings: Sequence[tuple[np.ndarray, float]],
+        indices: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Per-constraint count of violated witnesses, one matrix product."""
+        if indices is None:
+            rows, rhs, limit = self.rows, self.rhs, self.limit
+        else:
+            rows, rhs, limit = self.rows[indices], self.rhs[indices], self.limit[indices]
+        if not encodings:
+            return np.zeros(rows.shape[0], dtype=np.int64)
+        vecs = np.stack([np.asarray(v, dtype=np.float64) for v, _ in encodings], axis=1)
+        offsets = np.asarray([float(o) for _, o in encodings], dtype=np.float64)
+        margins = rows @ vecs + (offsets[None, :] - rhs[:, None])
+        if self.sense < 0:
+            margins = -margins
+        return (margins > limit[:, None]).sum(axis=1).astype(np.int64)
 
 
 class LPTypeProblem(abc.ABC):
@@ -137,20 +243,54 @@ class LPTypeProblem(abc.ABC):
         """
 
     # ------------------------------------------------------------------ #
-    # Derived helpers (overridable for vectorised implementations)
+    # The packed data plane
+    # ------------------------------------------------------------------ #
+
+    def constraint_pack(self) -> Optional[ConstraintPack]:
+        """The packed constraint arrays, built once and cached on the problem.
+
+        Returns ``None`` for problems that do not provide a packed form (the
+        batch methods then fall back to scalar :meth:`violates` loops).
+        """
+        pack = getattr(self, "_constraint_pack_cache", _PACK_UNSET)
+        if pack is _PACK_UNSET:
+            pack = self._build_constraint_pack()
+            self._constraint_pack_cache = pack
+        return pack
+
+    def _build_constraint_pack(self) -> Optional[ConstraintPack]:
+        """Build the :class:`ConstraintPack` for this problem (``None`` = no pack)."""
+        return None
+
+    def encode_witness(self, witness: Any) -> Optional[tuple[np.ndarray, float]]:
+        """Encode ``witness`` as the ``(vector, offset)`` pair the pack consumes.
+
+        ``None`` (for a ``None`` witness, or for problems without a pack)
+        routes the batch methods to their scalar fallback.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers (pack-backed; scalar fallback via ``violates``)
     # ------------------------------------------------------------------ #
 
     def violation_mask(self, witness: Any, indices: Iterable[int]) -> np.ndarray:
         """Boolean mask over ``indices``: entry ``j`` is ``True`` iff
         ``indices[j]`` is violated at ``witness``.
 
-        The default falls back to scalar :meth:`violates` calls; concrete
-        problems override with a truly vectorised implementation — this is
-        the hot path of every driver's success test.
+        Evaluated against the packed data plane when the problem provides
+        one (a single matmul plus comparison — this is the hot path of every
+        driver's success test); otherwise falls back to scalar
+        :meth:`violates` calls.
         """
         idx = as_index_array(indices)
-        if idx.size == 0:
-            return np.zeros(0, dtype=bool)
+        if idx.size == 0 or witness is None:
+            return np.zeros(idx.size, dtype=bool)
+        pack = self.constraint_pack()
+        if pack is not None:
+            encoded = self.encode_witness(witness)
+            if encoded is not None:
+                return pack.mask(encoded, idx)
         return np.fromiter(
             (self.violates(witness, int(i)) for i in idx), dtype=bool, count=idx.size
         )
@@ -163,14 +303,20 @@ class LPTypeProblem(abc.ABC):
         This is the implicit-weight exponent ``a_i`` of Section 3.2: the
         streaming and MPC substrates derive the weight of constraint ``i``
         as ``boost ** a_i`` from the stored bases of successful iterations.
-        The default stacks :meth:`violation_mask` calls (one per witness);
-        concrete problems override with a single matrix evaluation.
+        With a packed data plane all witnesses are evaluated in one matrix
+        product; the fallback stacks :meth:`violation_mask` calls.
         """
         idx = as_index_array(indices)
+        present = [w for w in witnesses if w is not None]
+        if not present or idx.size == 0:
+            return np.zeros(idx.size, dtype=np.int64)
+        pack = self.constraint_pack()
+        if pack is not None:
+            encodings = [self.encode_witness(w) for w in present]
+            if all(e is not None for e in encodings):
+                return pack.count_matrix(encodings, idx)
         counts = np.zeros(idx.size, dtype=np.int64)
-        for witness in witnesses:
-            if witness is None:
-                continue
+        for witness in present:
             counts += self.violation_mask(witness, idx)
         return counts
 
@@ -202,6 +348,115 @@ class LPTypeProblem(abc.ABC):
     def payload_num_coefficients(self) -> int:
         """Number of real coefficients in one constraint payload."""
         return self.dimension + 1
+
+
+# ---------------------------------------------------------------------- #
+# Working-set subset solving (the packed-plane fast path of solve_subset)
+# ---------------------------------------------------------------------- #
+
+#: Subsets at or below this many constraints are handed to the backend solver
+#: directly; larger subsets go through the working-set loop.
+DIRECT_SOLVE_LIMIT = 128
+
+#: Hard cap on working-set rounds before falling back to a direct solve (the
+#: loop provably terminates — f strictly increases every round — but the cap
+#: bounds the worst case on adversarial numerics).
+_MAX_WORKING_ROUNDS = 64
+
+
+def working_set_solve(
+    problem: "LPTypeProblem",
+    indices: Sequence[int] | np.ndarray,
+    direct_solve: Callable[[np.ndarray], BasisResult],
+    probe_solve: Optional[Callable[[np.ndarray], BasisResult]] = None,
+    direct_limit: int = DIRECT_SOLVE_LIMIT,
+) -> BasisResult:
+    """Solve ``f`` on a large subset via an exact working-set (active-set) loop.
+
+    Rather than handing all of ``indices`` to the backend solver, solve a
+    small working set ``W``, test the resulting witness against the whole
+    subset with one packed-plane sweep, and grow ``W`` by the worst violators
+    until none remain.  The result is *exact* by the LP-type axioms: when the
+    witness of ``f(W)`` violates no constraint of ``A`` and ``W`` is a subset
+    of ``A``, monotonicity gives ``f(W) <= f(A)`` while feasibility of the
+    witness gives ``f(A) <= f(W)`` — so ``f(A) = f(W)`` and any basis of
+    ``W`` is a basis of ``A``.  (An infeasible ``f(W)`` is the top element,
+    which forces ``f(A) = f(W)`` directly.)
+
+    ``probe_solve``, when given, is a cheaper solver producing *some* optimal
+    witness of ``W`` (e.g. skipping lexicographic tie-breaking).  Growth
+    rounds use the probe; once the probe's witness is feasible for all of
+    ``A``, the exact ``direct_solve`` runs on the final working set and its
+    witness is re-verified — if tie-breaking moved the optimum onto a
+    violated region, the loop simply continues.  Termination is unaffected
+    because ``W`` strictly grows with violated constraints either way.
+
+    This turns one backend solve over ``|A|`` constraints into a handful of
+    solves over ``O(nu)`` constraints plus cheap vectorised violation sweeps —
+    the dominant cost of Algorithm 1's basis computations on eps-net samples.
+    The working set doubles each round, so the round count is logarithmic in
+    the size of the active set.
+
+    The loop is fully deterministic (evenly spaced initial set, violators
+    ranked by violation score), so repeated runs with one seed stay
+    bit-identical.
+    """
+    idx = as_index_array(indices)
+    if idx.size <= max(direct_limit, 1):
+        return direct_solve(idx)
+
+    nu = problem.combinatorial_dimension
+    pack = problem.constraint_pack()
+    take = int(min(idx.size, max(4 * nu, 16)))
+    work = np.unique(idx[np.linspace(0, idx.size - 1, take).astype(int)])
+    probing = probe_solve is not None
+
+    def violators_of(basis: BasisResult) -> np.ndarray:
+        """Positions into ``idx`` of the violated constraints, worst first."""
+        encoded = problem.encode_witness(basis.witness) if pack is not None else None
+        if encoded is not None:
+            scores = pack.scores(encoded, idx)
+            violators = np.flatnonzero(scores > 0.0)
+            # Worst offenders first (argsort on scores is deterministic).
+            return violators[np.argsort(scores[violators])[::-1]]
+        return np.flatnonzero(problem.violation_mask(basis.witness, idx))
+
+    for _ in range(_MAX_WORKING_ROUNDS):
+        try:
+            basis = (probe_solve if probing else direct_solve)(work)
+        except SolverError:
+            # Tiny working sets can be numerically harder for the backend
+            # than the full subset (ill-conditioned extreme-scale inputs);
+            # fall back to the pre-working-set behaviour.
+            return direct_solve(idx)
+        violators = violators_of(basis)
+        if violators.size == 0:
+            if probing:
+                # The probe's optimum is settled; run the exact solver once
+                # and re-verify its (possibly different) witness.
+                probing = False
+                try:
+                    basis = direct_solve(work)
+                except SolverError:
+                    return direct_solve(idx)
+                violators = violators_of(basis)
+            if violators.size == 0:
+                return BasisResult(
+                    indices=basis.indices,
+                    value=basis.value,
+                    witness=basis.witness,
+                    subset_size=int(idx.size),
+                )
+        grow = max(2 * nu, work.size)
+        fresh = idx[violators[: min(violators.size, grow)]]
+        grown = np.unique(np.concatenate([work, fresh]))
+        if grown.size == work.size or grown.size >= idx.size:
+            # No progress (the backend's witness violates constraints already
+            # in the working set beyond tolerance) or the working set covers
+            # the subset: hand the whole thing to the backend.
+            break
+        work = grown
+    return direct_solve(idx)
 
 
 # ---------------------------------------------------------------------- #

@@ -60,6 +60,9 @@ class ResourceUsage:
     max_message_bits: int = 0
     max_machine_load_bits: int = 0
     machine_count: int = 0
+    oracle_calls: int = 0
+    basis_cache_hits: int = 0
+    basis_cache_misses: int = 0
     per_round: list[Mapping[str, int]] = field(default_factory=list)
 
     #: Fields that add up across independent runs (``mode="sum"``).
@@ -70,6 +73,9 @@ class ResourceUsage:
         "rounds",
         "total_communication_bits",
         "machine_count",
+        "oracle_calls",
+        "basis_cache_hits",
+        "basis_cache_misses",
     )
     #: Per-message / per-machine maxima: summing them is meaningless, so they
     #: aggregate by maximum in both modes.
@@ -169,5 +175,8 @@ class SolveResult:
             "space_peak_bits": self.resources.space_peak_bits,
             "communication_bits": self.resources.total_communication_bits,
             "max_machine_load_bits": self.resources.max_machine_load_bits,
+            "oracle_calls": self.resources.oracle_calls,
+            "basis_cache_hits": self.resources.basis_cache_hits,
+            "basis_cache_misses": self.resources.basis_cache_misses,
             **{f"meta_{k}": v for k, v in self.metadata.items()},
         }

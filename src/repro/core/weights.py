@@ -38,14 +38,24 @@ def boost_factor(num_constraints: int, r: int) -> float:
 
 @dataclass
 class ExplicitWeights:
-    """A dense weight vector with multiplicative updates.
+    """A dense weight vector with in-place, log-space multiplicative updates.
 
     Weights are kept in log-space internally so that ``boost ** t`` never
-    overflows even for many successful iterations (``n^{t/r}`` grows quickly).
+    overflows even for many successful iterations (``n^{t/r}`` grows
+    quickly); a boost is one in-place add of ``log(boost)`` at the violator
+    indices.  The exponentiated (max-normalised) vector and its total are
+    computed lazily and cached between boosts, so the success test and any
+    residual ``weights()`` consumers never trigger repeated ``O(n)``
+    exponentiation within one iteration.
     """
 
     log_weights: np.ndarray
     boost: float
+    _scaled: np.ndarray | None = field(default=None, init=False, repr=False, compare=False)
+    _scaled_total: float = field(default=0.0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._log_boost = float(np.log(self.boost))
 
     @classmethod
     def uniform(cls, count: int, boost: float) -> "ExplicitWeights":
@@ -63,35 +73,43 @@ class ExplicitWeights:
         """Weight of constraint ``index`` (may be huge; prefer relative uses)."""
         return float(np.exp(self.log_weights[index]))
 
+    def _scaled_weights(self) -> np.ndarray:
+        if self._scaled is None:
+            shifted = self.log_weights - self.log_weights.max()
+            self._scaled = np.exp(shifted)
+            self._scaled.flags.writeable = False  # cached view: enforce read-only
+            self._scaled_total = float(self._scaled.sum())
+        return self._scaled
+
     def weights(self) -> np.ndarray:
         """The full weight vector, normalised to a maximum of 1 to avoid overflow.
 
         Sampling proportional to weights is invariant under a global scale,
-        so the normalisation does not change the algorithm's behaviour.
+        so the normalisation does not change the algorithm's behaviour.  The
+        returned array is a cached view — treat it as read-only.
         """
-        shifted = self.log_weights - self.log_weights.max()
-        return np.exp(shifted)
+        return self._scaled_weights()
 
     def total_weight_log(self) -> float:
         """``log(sum of weights)`` computed stably."""
-        peak = self.log_weights.max()
-        return float(peak + np.log(np.exp(self.log_weights - peak).sum()))
+        self._scaled_weights()
+        return float(self.log_weights.max() + np.log(self._scaled_total))
 
     def multiply(self, indices: Sequence[int] | np.ndarray) -> None:
-        """Multiply the weights at ``indices`` by the boost factor."""
+        """Multiply the weights at ``indices`` by the boost factor (in place)."""
         idx = np.asarray(indices, dtype=int)
         if idx.size == 0:
             return
-        self.log_weights[idx] += np.log(self.boost)
+        self.log_weights[idx] += self._log_boost
+        self._scaled = None
 
     def fraction(self, indices: Sequence[int] | np.ndarray) -> float:
         """``w(indices) / w(all)`` computed stably in log-space."""
         idx = np.asarray(indices, dtype=int)
         if idx.size == 0:
             return 0.0
-        peak = self.log_weights.max()
-        scaled = np.exp(self.log_weights - peak)
-        return float(scaled[idx].sum() / scaled.sum())
+        scaled = self._scaled_weights()
+        return float(scaled[idx].sum() / self._scaled_total)
 
 
 @dataclass

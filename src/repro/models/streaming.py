@@ -69,6 +69,22 @@ class MultiPassStream:
         self._passes += 1
         yield from (int(i) for i in self._order)
 
+    def scan_chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
+        """Yield the stream order in bounded contiguous chunks; one pass.
+
+        The block-buffered twin of :meth:`scan`: the same indices in the same
+        order, but handed out as read-only index arrays of at most
+        ``chunk_size`` items so that drivers can evaluate a whole block in
+        one vectorised sweep without a per-item Python loop.
+        """
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._passes += 1
+        for start in range(0, self._order.size, chunk_size):
+            chunk = self._order[start : start + chunk_size]
+            chunk.flags.writeable = False  # enforce the read-only contract
+            yield chunk
+
     def order(self) -> np.ndarray:
         """The arrival order (a copy)."""
         return self._order.copy()

@@ -19,7 +19,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.exceptions import InfeasibleProblemError, InvalidInstanceError
-from ..core.lptype import BasisResult, LPTypeProblem, as_index_array
+from ..core.lptype import (
+    BasisResult,
+    ConstraintPack,
+    LPTypeProblem,
+    as_index_array,
+    working_set_solve,
+)
 from .seidel import seidel_solve
 from .solvers import DEFAULT_TOLERANCE, lexicographic_minimum, solve_lp
 
@@ -170,12 +176,29 @@ class LinearProgram(LPTypeProblem):
         return self.a[index].copy(), float(self.b[index])
 
     def solve_subset(self, indices: Sequence[int]) -> BasisResult:
-        idx = np.asarray(list(indices), dtype=int)
+        # Growth rounds of the working-set loop skip the lexicographic
+        # refinement (d extra LP solves) — only the final exact solve pays it.
+        probe = (
+            self._solve_subset_probe
+            if self.lexicographic and self.solver == "highs"
+            else None
+        )
+        return working_set_solve(
+            self, as_index_array(indices), self._solve_subset_direct, probe_solve=probe
+        )
+
+    def _solve_subset_probe(self, indices: Sequence[int]) -> BasisResult:
+        return self._solve_subset_direct(indices, lexicographic=False)
+
+    def _solve_subset_direct(
+        self, indices: Sequence[int], lexicographic: Optional[bool] = None
+    ) -> BasisResult:
+        idx = as_index_array(indices)
         a_sub = self.a[idx] if idx.size else np.zeros((0, self.dimension))
         b_sub = self.b[idx] if idx.size else np.zeros(0)
         bounds = (-self.box_bound, self.box_bound)
         try:
-            witness = self._optimise(a_sub, b_sub, bounds)
+            witness = self._optimise(a_sub, b_sub, bounds, lexicographic=lexicographic)
         except InfeasibleProblemError:
             value = LexicographicValue(
                 objective=float("inf"), coordinates=(), infeasible=True
@@ -204,28 +227,23 @@ class LinearProgram(LPTypeProblem):
         scale = max(1.0, float(np.abs(row).max()), abs(float(self.b[index])))
         return slack > self.tolerance * scale + self.tolerance
 
-    def violation_mask(self, witness, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        if witness is None or idx.size == 0:
-            return np.zeros(idx.size, dtype=bool)
-        rows = self.a[idx]
-        rhs = self.b[idx]
-        slack = rows @ np.asarray(witness, dtype=float) - rhs
-        scale = np.maximum(1.0, np.maximum(np.abs(rows).max(axis=1), np.abs(rhs)))
-        return slack > self.tolerance * scale + self.tolerance
+    def _build_constraint_pack(self) -> ConstraintPack:
+        # Violated iff a_i . x - b_i > tol * scale_i + tol (upper-bound sense).
+        if self.a.size:
+            scale = np.maximum(1.0, np.maximum(np.abs(self.a).max(axis=1), np.abs(self.b)))
+        else:
+            scale = np.ones(self.num_constraints)
+        return ConstraintPack(
+            rows=self.a,
+            rhs=self.b,
+            limit=self.tolerance * scale + self.tolerance,
+            sense=1,
+        )
 
-    def violation_count_matrix(self, witnesses, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        points = [w for w in witnesses if w is not None]
-        if not points or idx.size == 0:
-            return np.zeros(idx.size, dtype=np.int64)
-        rows = self.a[idx]
-        rhs = self.b[idx]
-        # slack[i, t] = a_i . x_t - b_i for witness t, all in one product.
-        slack = rows @ np.asarray(points, dtype=float).T - rhs[:, None]
-        scale = np.maximum(1.0, np.maximum(np.abs(rows).max(axis=1), np.abs(rhs)))
-        limit = (self.tolerance * scale + self.tolerance)[:, None]
-        return (slack > limit).sum(axis=1).astype(np.int64)
+    def encode_witness(self, witness) -> tuple[np.ndarray, float] | None:
+        if witness is None:
+            return None
+        return np.asarray(witness, dtype=float), 0.0
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -236,8 +254,11 @@ class LinearProgram(LPTypeProblem):
         a_sub: np.ndarray,
         b_sub: np.ndarray,
         bounds: tuple[float, float],
+        lexicographic: Optional[bool] = None,
     ) -> np.ndarray:
         """Optimal (lexicographically smallest, if enabled) point of a sub-LP."""
+        if lexicographic is None:
+            lexicographic = self.lexicographic
         if self.solver == "seidel":
             # Seidel's algorithm returns an optimal vertex but not the
             # lexicographically smallest one; ties are broken by the random
@@ -245,7 +266,7 @@ class LinearProgram(LPTypeProblem):
             # optimum is unique (the common case for the random workloads)
             # and is what the solver ablation measures.
             return seidel_solve(self.c, a_sub, b_sub, box=self.box_bound).x
-        if self.lexicographic:
+        if lexicographic:
             return lexicographic_minimum(self.c, a_sub, b_sub, bounds).x
         return solve_lp(self.c, a_ub=a_sub, b_ub=b_sub, bounds=bounds).x
 

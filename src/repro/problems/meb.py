@@ -28,7 +28,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.exceptions import InvalidInstanceError
-from ..core.lptype import BasisResult, LPTypeProblem, as_index_array
+from ..core.lptype import (
+    BasisResult,
+    ConstraintPack,
+    LPTypeProblem,
+    as_index_array,
+    working_set_solve,
+)
 from ..core.rng import SeedLike, as_generator
 from .qp import minimize_convex_qp
 
@@ -125,7 +131,10 @@ class MinimumEnclosingBall(LPTypeProblem):
         return self.points[index].copy()
 
     def solve_subset(self, indices: Sequence[int]) -> BasisResult:
-        idx = np.asarray(list(indices), dtype=int)
+        return working_set_solve(self, as_index_array(indices), self._solve_subset_direct)
+
+    def _solve_subset_direct(self, indices: Sequence[int]) -> BasisResult:
+        idx = as_index_array(indices)
         if idx.size == 0:
             ball = Ball(center=np.zeros(self.dimension), radius=0.0)
             return BasisResult(indices=(), value=MEBValue(radius=0.0), witness=ball)
@@ -149,33 +158,31 @@ class MinimumEnclosingBall(LPTypeProblem):
             return False
         return not witness.contains(self.points[index], tolerance=self.tolerance)
 
-    def violation_mask(self, witness, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        if witness is None or idx.size == 0:
-            return np.zeros(idx.size, dtype=bool)
-        diffs = self.points[idx] - witness.center
-        distances = np.linalg.norm(diffs, axis=1)
-        limit = witness.radius + self.tolerance * max(1.0, witness.radius)
-        return distances > limit
-
-    def violation_count_matrix(self, witnesses, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        balls = [w for w in witnesses if w is not None]
-        if not balls or idx.size == 0:
-            return np.zeros(idx.size, dtype=np.int64)
-        centers = np.stack([ball.center for ball in balls])
-        radii = np.asarray([ball.radius for ball in balls], dtype=float)
-        # Squared distances point-to-center for all (constraint, ball) pairs
-        # via the expansion ||p - c||^2 = ||p||^2 - 2 p.c + ||c||^2.
-        pts = self.points[idx]
-        sq = (
-            self._squared_norms[idx][:, None]
-            - 2.0 * pts @ centers.T
-            + np.einsum("ij,ij->i", centers, centers)[None, :]
+    def _build_constraint_pack(self) -> ConstraintPack:
+        # Containment in squared form: ||p - c||^2 = ||q||^2 - 2 q.c' + ||c'||^2
+        # with q = p - m, c' = c - m for the cloud centroid m (the squared
+        # distance is translation-invariant).  Centring keeps ||q||^2 at the
+        # scale of the cloud's *spread* rather than its coordinate magnitude,
+        # so the expansion does not cancel catastrophically for clouds far
+        # from the origin.  With rows = -2q and rhs = -||q||^2 the packed
+        # margin ``rows.c' + offset - rhs`` equals ``||p - c||^2 - limit(r)^2``
+        # when the witness encodes ``offset = ||c'||^2 - limit(r)^2``.
+        self._pack_shift = self.points.mean(axis=0)
+        centred = self.points - self._pack_shift
+        return ConstraintPack(
+            rows=-2.0 * centred,
+            rhs=-np.einsum("ij,ij->i", centred, centred),
+            limit=0.0,
+            sense=1,
         )
-        limits = radii + self.tolerance * np.maximum(1.0, radii)
-        mask = sq > (limits * limits)[None, :]
-        return mask.sum(axis=1).astype(np.int64)
+
+    def encode_witness(self, witness: Optional[Ball]) -> tuple[np.ndarray, float] | None:
+        if witness is None:
+            return None
+        self.constraint_pack()  # ensure the centring shift exists
+        centre = witness.center - self._pack_shift
+        limit = witness.radius + self.tolerance * max(1.0, witness.radius)
+        return centre, float(centre @ centre - limit * limit)
 
     # ------------------------------------------------------------------ #
     # Internals

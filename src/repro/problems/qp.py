@@ -28,7 +28,13 @@ import numpy as np
 from scipy.optimize import minimize
 
 from ..core.exceptions import InfeasibleProblemError, InvalidInstanceError, SolverError
-from ..core.lptype import BasisResult, LPTypeProblem, as_index_array
+from ..core.lptype import (
+    BasisResult,
+    ConstraintPack,
+    LPTypeProblem,
+    as_index_array,
+    working_set_solve,
+)
 
 __all__ = ["QPSolution", "QPValue", "ConvexQuadraticProgram", "minimize_convex_qp"]
 
@@ -240,6 +246,9 @@ class ConvexQuadraticProgram(LPTypeProblem):
         return self.g_matrix[index].copy(), float(self.h_vector[index])
 
     def solve_subset(self, indices: Sequence[int]) -> BasisResult:
+        return working_set_solve(self, as_index_array(indices), self._solve_subset_direct)
+
+    def _solve_subset_direct(self, indices: Sequence[int]) -> BasisResult:
         idx = as_index_array(indices)
         g = self.g_matrix[idx] if idx.size else np.zeros((0, self.dimension))
         h = self.h_vector[idx] if idx.size else np.zeros(0)
@@ -269,27 +278,22 @@ class ConvexQuadraticProgram(LPTypeProblem):
         scale = max(1.0, float(np.abs(row).max()), abs(float(self.h_vector[index])))
         return slack < -(self.tolerance * scale + self.tolerance)
 
-    def violation_mask(self, witness, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        if witness is None or idx.size == 0:
-            return np.zeros(idx.size, dtype=bool)
-        rows = self.g_matrix[idx]
-        rhs = self.h_vector[idx]
-        slack = rows @ np.asarray(witness, dtype=float) - rhs
-        scale = np.maximum(1.0, np.maximum(np.abs(rows).max(axis=1), np.abs(rhs)))
-        return slack < -(self.tolerance * scale + self.tolerance)
+    def _build_constraint_pack(self) -> ConstraintPack:
+        # Violated iff g_i . x - h_i < -(tol * scale_i + tol) (lower-bound sense).
+        scale = np.maximum(
+            1.0, np.maximum(np.abs(self.g_matrix).max(axis=1), np.abs(self.h_vector))
+        )
+        return ConstraintPack(
+            rows=self.g_matrix,
+            rhs=self.h_vector,
+            limit=self.tolerance * scale + self.tolerance,
+            sense=-1,
+        )
 
-    def violation_count_matrix(self, witnesses, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        points = [w for w in witnesses if w is not None]
-        if not points or idx.size == 0:
-            return np.zeros(idx.size, dtype=np.int64)
-        rows = self.g_matrix[idx]
-        rhs = self.h_vector[idx]
-        slack = rows @ np.asarray(points, dtype=float).T - rhs[:, None]
-        scale = np.maximum(1.0, np.maximum(np.abs(rows).max(axis=1), np.abs(rhs)))
-        limit = -(self.tolerance * scale + self.tolerance)[:, None]
-        return (slack < limit).sum(axis=1).astype(np.int64)
+    def encode_witness(self, witness) -> tuple[np.ndarray, float] | None:
+        if witness is None:
+            return None
+        return np.asarray(witness, dtype=float), 0.0
 
     # ------------------------------------------------------------------ #
     # Internals

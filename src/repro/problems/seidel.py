@@ -14,9 +14,24 @@ The solver handles problems of the form::
 
 The bounding box guarantees a bounded optimum for every subset of the
 constraints, which is what the LP-type formulation needs.  The algorithm is
-the classical one: insert constraints in random order; when the new
-constraint is violated by the current optimum, recurse on the boundary of the
-new constraint (a ``d-1``-dimensional LP).
+the classical one — insert constraints in random order; when the new
+constraint is violated by the current optimum, restrict to the boundary of
+the new constraint (a ``d-1``-dimensional LP) — implemented *iteratively*
+with an explicit frame stack instead of per-constraint Python recursion:
+
+* the next violated constraint at each insertion level is found with one
+  masked matmul over the not-yet-inserted suffix (``a[pos:] @ x - b[pos:]``),
+  so feasible constraints are skipped at NumPy speed instead of one
+  interpreted dot product at a time;
+* dimension reduction onto a violated constraint's boundary pushes a child
+  frame; the parent lifts the child's solution back through the stored
+  elimination data when the child finishes;
+* the reduced constraint systems are built with whole-array operations
+  (one outer product) rather than per-row Python loops.
+
+The random insertion orders are drawn exactly as the recursive formulation
+drew them (one permutation per reduced subproblem, depth-first), so results
+for a fixed seed are unchanged.
 """
 
 from __future__ import annotations
@@ -84,7 +99,7 @@ def seidel_solve(
 
     gen = as_generator(rng)
     order = gen.permutation(a.shape[0])
-    x = _solve_recursive(c, a[order], b[order], np.full(d, box), np.full(d, -box), gen)
+    x = _solve_iterative(c, a[order], b[order], np.full(d, -box), np.full(d, box), gen)
     return SeidelResult(x=x, objective=float(c @ x))
 
 
@@ -99,41 +114,20 @@ def _box_optimum(c: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     return x.astype(float)
 
 
-def _solve_recursive(
-    c: np.ndarray,
-    a: np.ndarray,
-    b: np.ndarray,
-    hi: np.ndarray,
-    lo: np.ndarray,
-    gen: np.random.Generator,
-) -> np.ndarray:
-    """Seidel recursion over the constraint list ``a x <= b`` within ``[lo, hi]``."""
-    d = c.size
-    if d == 1:
-        return _solve_one_dimensional(c, a, b, lo, hi)
-
-    x = _box_optimum(c, lo, hi)
-    for i in range(a.shape[0]):
-        if a[i] @ x <= b[i] + _EPS:
-            continue
-        # The optimum of the first i constraints violates constraint i, so the
-        # optimum of the first i+1 constraints lies on its boundary
-        # a[i] . x = b[i].  Eliminate one variable and recurse in d-1 dims.
-        x = _solve_on_hyperplane(c, a[: i + 1], b[: i + 1], a[i], b[i], lo, hi, gen)
-    return x
-
-
 def _solve_one_dimensional(
     c: np.ndarray, a: np.ndarray, b: np.ndarray, lo: np.ndarray, hi: np.ndarray
 ) -> np.ndarray:
-    """Directly solve a one-variable LP."""
+    """Directly solve a one-variable LP (vectorised interval clipping)."""
     low, high = float(lo[0]), float(hi[0])
-    for coeff, bound in zip(a[:, 0] if a.size else [], b):
-        if coeff > _EPS:
-            high = min(high, bound / coeff)
-        elif coeff < -_EPS:
-            low = max(low, bound / coeff)
-        elif bound < -_EPS:
+    if a.shape[0]:
+        coeff = a[:, 0]
+        positive = coeff > _EPS
+        negative = coeff < -_EPS
+        if positive.any():
+            high = min(high, float((b[positive] / coeff[positive]).min()))
+        if negative.any():
+            low = max(low, float((b[negative] / coeff[negative]).max()))
+        if np.any(~positive & ~negative & (b < -_EPS)):
             raise InfeasibleProblemError("contradictory constant constraint")
     if low > high + 1e-7:
         raise InfeasibleProblemError("one-dimensional feasible interval is empty")
@@ -143,60 +137,140 @@ def _solve_one_dimensional(
     return np.array([min(max(value, low), high)], dtype=float)
 
 
-def _solve_on_hyperplane(
-    c: np.ndarray,
-    a: np.ndarray,
-    b: np.ndarray,
-    normal: np.ndarray,
-    offset: float,
-    lo: np.ndarray,
-    hi: np.ndarray,
-    gen: np.random.Generator,
-) -> np.ndarray:
-    """Solve the LP restricted to the hyperplane ``normal . x = offset``.
+class _Frame:
+    """One insertion level of the iterative Seidel solve.
 
-    One variable (the one with the largest |coefficient| in ``normal``) is
-    eliminated; the box bounds of the eliminated variable become two extra
-    inequality constraints of the reduced problem.
+    Holds the level's constraint system and current optimum plus, while a
+    child (reduced, ``d-1``-dimensional) level is in flight, the elimination
+    data needed to lift the child's solution back: ``x[keep] = y`` and
+    ``x[pivot] = base - ratio . y``.
     """
-    d = c.size
+
+    __slots__ = ("c", "a", "b", "lo", "hi", "x", "pos", "keep", "pivot", "ratio", "base")
+
+    def __init__(
+        self, c: np.ndarray, a: np.ndarray, b: np.ndarray, lo: np.ndarray, hi: np.ndarray
+    ) -> None:
+        self.c = c
+        self.a = a
+        self.b = b
+        self.lo = lo
+        self.hi = hi
+        self.x: np.ndarray | None = None
+        self.pos = 0
+
+
+def _first_violator(frame: _Frame) -> int | None:
+    """Index of the first constraint at or after ``pos`` violated at ``x``.
+
+    One matmul over the not-yet-inserted suffix per call — this is the
+    vectorised replacement for the per-constraint scan of the recursive
+    formulation.
+    """
+    if frame.pos >= frame.a.shape[0]:
+        return None
+    slack = frame.a[frame.pos :] @ frame.x - frame.b[frame.pos :]
+    violated = slack > _EPS
+    if not violated.any():
+        return None
+    return frame.pos + int(np.argmax(violated))
+
+
+def _reduced_child(frame: _Frame, index: int, gen: np.random.Generator) -> _Frame:
+    """Build the child frame on the boundary of constraint ``index``.
+
+    One variable (the largest-|coefficient| one of the violated constraint's
+    normal) is eliminated; the box bounds of the eliminated variable become
+    two extra inequality rows of the reduced system.  Stores the lift data on
+    ``frame`` and returns the permuted child.
+    """
+    a = frame.a[: index + 1]
+    b = frame.b[: index + 1]
+    normal = frame.a[index]
+    offset = float(frame.b[index])
     pivot = int(np.argmax(np.abs(normal)))
     if abs(normal[pivot]) <= _EPS:
         # Degenerate constraint 0 . x <= b with b < 0: infeasible.
         raise InfeasibleProblemError("degenerate violated constraint")
-    keep = [j for j in range(d) if j != pivot]
+    keep = np.delete(np.arange(frame.c.size), pivot)
 
     # x_pivot = (offset - sum_{j != pivot} normal_j x_j) / normal_pivot
     ratio = normal[keep] / normal[pivot]
     base = offset / normal[pivot]
 
     # Reduced objective: c.x = c_keep . y + c_pivot * (base - ratio . y).
-    reduced_c = c[keep] - c[pivot] * ratio
+    reduced_c = frame.c[keep] - frame.c[pivot] * ratio
 
-    reduced_rows: list[np.ndarray] = []
-    reduced_rhs: list[float] = []
-    for row, rhs in zip(a, b):
-        new_row = row[keep] - row[pivot] * ratio
-        new_rhs = rhs - row[pivot] * base
-        reduced_rows.append(new_row)
-        reduced_rhs.append(new_rhs)
-    # Box constraints of the eliminated variable: lo <= base - ratio.y <= hi.
-    reduced_rows.append(-ratio)
-    reduced_rhs.append(hi[pivot] - base)
-    reduced_rows.append(ratio)
-    reduced_rhs.append(base - lo[pivot])
-
-    reduced_a = np.asarray(reduced_rows, dtype=float)
-    reduced_b = np.asarray(reduced_rhs, dtype=float)
-
-    order = gen.permutation(reduced_a.shape[0])
-    y = _solve_recursive(
-        reduced_c, reduced_a[order], reduced_b[order], hi[keep], lo[keep], gen
+    # All constraint rows reduced in one outer product, plus the two box
+    # rows of the eliminated variable: lo <= base - ratio.y <= hi.
+    reduced_a = np.vstack([a[:, keep] - np.outer(a[:, pivot], ratio), -ratio, ratio])
+    reduced_b = np.concatenate(
+        [b - a[:, pivot] * base, [frame.hi[pivot] - base, base - frame.lo[pivot]]]
     )
 
-    x = np.empty(d, dtype=float)
-    x[keep] = y
-    x[pivot] = base - ratio @ y
-    if x[pivot] < lo[pivot] - 1e-6 or x[pivot] > hi[pivot] + 1e-6:
+    frame.keep = keep
+    frame.pivot = pivot
+    frame.ratio = ratio
+    frame.base = base
+
+    order = gen.permutation(reduced_a.shape[0])
+    return _Frame(reduced_c, reduced_a[order], reduced_b[order], frame.lo[keep], frame.hi[keep])
+
+
+def _lift(frame: _Frame, y: np.ndarray) -> np.ndarray:
+    """Undo the elimination: embed the child solution into the parent space."""
+    x = np.empty(frame.c.size, dtype=float)
+    x[frame.keep] = y
+    x[frame.pivot] = frame.base - frame.ratio @ y
+    if (
+        x[frame.pivot] < frame.lo[frame.pivot] - 1e-6
+        or x[frame.pivot] > frame.hi[frame.pivot] + 1e-6
+    ):
         raise SolverError("eliminated variable escaped the bounding box")
     return x
+
+
+def _solve_iterative(
+    c: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    gen: np.random.Generator,
+) -> np.ndarray:
+    """Iterative Seidel over the constraint list ``a x <= b`` within ``[lo, hi]``.
+
+    Depth-first over an explicit frame stack: the control flow (and the
+    random permutation draws) match the classical recursion exactly, without
+    Python-level recursion or per-constraint loops.
+    """
+    stack = [_Frame(c, a, b, lo, hi)]
+    solution: np.ndarray | None = None
+
+    while stack:
+        frame = stack[-1]
+        if solution is not None:
+            # A child level just finished: lift its optimum into this level.
+            frame.x = _lift(frame, solution)
+            solution = None
+        if frame.x is None:
+            if frame.c.size == 1:
+                solution = _solve_one_dimensional(
+                    frame.c, frame.a, frame.b, frame.lo, frame.hi
+                )
+                stack.pop()
+                continue
+            frame.x = _box_optimum(frame.c, frame.lo, frame.hi)
+        violated = _first_violator(frame)
+        if violated is None:
+            solution = frame.x
+            stack.pop()
+            continue
+        # The optimum of the first ``violated`` constraints breaks constraint
+        # ``violated``, so the optimum of the first ``violated + 1`` lies on
+        # its boundary: descend one dimension.
+        frame.pos = violated + 1
+        stack.append(_reduced_child(frame, violated, gen))
+
+    assert solution is not None
+    return solution

@@ -23,7 +23,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.exceptions import InfeasibleProblemError, InvalidInstanceError
-from ..core.lptype import BasisResult, LPTypeProblem, as_index_array
+from ..core.lptype import (
+    BasisResult,
+    ConstraintPack,
+    LPTypeProblem,
+    as_index_array,
+    working_set_solve,
+)
 from .qp import minimize_convex_qp
 
 __all__ = ["SVMValue", "LinearSVM"]
@@ -122,7 +128,10 @@ class LinearSVM(LPTypeProblem):
         return self.points[index].copy(), float(self.labels[index])
 
     def solve_subset(self, indices: Sequence[int]) -> BasisResult:
-        idx = np.asarray(list(indices), dtype=int)
+        return working_set_solve(self, as_index_array(indices), self._solve_subset_direct)
+
+    def _solve_subset_direct(self, indices: Sequence[int]) -> BasisResult:
+        idx = as_index_array(indices)
         if idx.size == 0:
             value = SVMValue(squared_norm=0.0)
             return BasisResult(indices=(), value=value, witness=np.zeros(self.dimension))
@@ -154,21 +163,19 @@ class LinearSVM(LPTypeProblem):
         margin = float(self._signed[index] @ witness)
         return margin < 1.0 - self.tolerance
 
-    def violation_mask(self, witness, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        if witness is None or idx.size == 0:
-            return np.zeros(idx.size, dtype=bool)
-        margins = self._signed[idx] @ np.asarray(witness, dtype=float)
-        return margins < 1.0 - self.tolerance
+    def _build_constraint_pack(self) -> ConstraintPack:
+        # Violated iff y_j <u, x_j> < 1 - tol (lower-bound sense with rhs 1).
+        return ConstraintPack(
+            rows=self._signed,
+            rhs=np.ones(self.num_constraints),
+            limit=self.tolerance,
+            sense=-1,
+        )
 
-    def violation_count_matrix(self, witnesses, indices) -> np.ndarray:
-        idx = as_index_array(indices)
-        points = [w for w in witnesses if w is not None]
-        if not points or idx.size == 0:
-            return np.zeros(idx.size, dtype=np.int64)
-        # margins[i, t] = y_i <u_t, x_i> for all stored hyperplanes at once.
-        margins = self._signed[idx] @ np.asarray(points, dtype=float).T
-        return (margins < 1.0 - self.tolerance).sum(axis=1).astype(np.int64)
+    def encode_witness(self, witness) -> tuple[np.ndarray, float] | None:
+        if witness is None:
+            return None
+        return np.asarray(witness, dtype=float), 0.0
 
     # ------------------------------------------------------------------ #
     # Internals & convenience

@@ -16,7 +16,7 @@ from repro.core.engine import (
     WeightSubstrate,
     iteration_budget,
 )
-from repro.core.exceptions import IterationLimitError
+from repro.core.exceptions import InvalidConfigError, IterationLimitError
 from repro.core.lptype import BasisResult
 from repro.core.weights import ExplicitWeights
 from repro.workloads import random_polytope_lp
@@ -112,6 +112,27 @@ class TestIterationBudget:
     def test_default_is_lemma_bound(self, lp_problem):
         nu = lp_problem.combinatorial_dimension
         assert iteration_budget(lp_problem, r=3, max_iterations=None) == 40 * nu * 3 + 40
+
+    @pytest.mark.parametrize("bad", [0, -1, -40])
+    def test_non_positive_budget_raises(self, lp_problem, bad):
+        """0 / negative budgets used to fall through to the default silently."""
+        with pytest.raises(InvalidConfigError, match="max_iterations"):
+            iteration_budget(lp_problem, r=2, max_iterations=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_solver_config_rejects_non_positive_budget(self, bad):
+        from repro import SolverConfig
+
+        with pytest.raises(InvalidConfigError, match="max_iterations"):
+            SolverConfig(max_iterations=bad)
+
+    def test_driver_rejects_non_positive_budget_via_params(self, lp_problem):
+        """The legacy ClarksonParameters path hits the same validation."""
+        from repro.core.clarkson import ClarksonParameters, _clarkson_solve
+
+        params = ClarksonParameters(max_iterations=0, sample_size=50)
+        with pytest.raises(InvalidConfigError, match="max_iterations"):
+            _clarkson_solve(lp_problem, params=params, rng=0)
 
 
 class TestInMemoryBinding:
