@@ -4,16 +4,24 @@ This is the arbiter for every perf-focused PR: a fixed grid of
 ``model x problem family x size tier`` scenarios, each driven through the
 ``repro.solve()`` front door with the practical profile and a pinned seed, so
 two runs of the same tier on the same machine measure the same work.  The
-output is ``BENCH.json`` (schema ``repro-bench/1``, documented in
+output is ``BENCH.json`` (schema ``repro-bench/2``, documented in
 ``docs/performance.md``): per-scenario wall time, iteration count, violation
-oracle calls, basis-cache hit rate, and modelled peak bytes, plus the
+oracle calls, basis-cache hit rate, modelled peak bytes, plus the
+**communication currencies** of the fabric — rounds/passes, total measured
+bits, the largest single message, and the per-node load peak — and the
 geometric-mean wall time that headline comparisons quote.
+
+With ``--baseline`` the suite gates regressions in *both* families of
+currencies: wall time (``--max-regression``, default 2x) and communication
+(``--max-bits-regression``, default 2x total bits, and ``--max-extra-rounds``,
+default +1 round), so a perf PR cannot buy wall-clock speed with silent
+communication blow-ups.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_suite.py --tier small -o BENCH.json
     PYTHONPATH=src python benchmarks/run_suite.py --tier medium --repeats 5
-    # CI regression gate: fail if any scenario is > 2x slower than baseline
+    # CI regression gate: wall time and communication vs the baseline
     PYTHONPATH=src python benchmarks/run_suite.py --tier small \
         --baseline benchmarks/bench_baseline_small.json --max-regression 2.0
 """
@@ -44,7 +52,7 @@ from repro.workloads import (
     uniform_ball_points,
 )
 
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
 
 #: Constraint counts per tier (shared by all four problem families).
 TIERS = {"small": 2_000, "medium": 100_000, "large": 250_000}
@@ -156,6 +164,7 @@ class Scenario:
         hits = getattr(res, "basis_cache_hits", 0)
         misses = getattr(res, "basis_cache_misses", 0)
         total = hits + misses
+        communication = result.communication
         return {
             "id": self.scenario_id,
             "problem": self.family,
@@ -173,6 +182,12 @@ class Scenario:
             "cache_hit_rate": round(hits / total, 4) if total else None,
             "peak_bytes": int(_peak_bytes(result, problem)),
             "objective": _objective(result),
+            # Communication currencies (schema repro-bench/2): rounds is the
+            # model's synchronisation count (stream passes for streaming).
+            "rounds": int(communication.rounds),
+            "total_comm_bits": int(communication.total_bits),
+            "max_message_bits": int(communication.max_message_bits),
+            "max_load_bits": int(communication.max_load_bits),
         }
 
 
@@ -192,19 +207,57 @@ def geomean(values: list[float]) -> float:
     return math.exp(sum(math.log(v) for v in positive) / len(positive))
 
 
+def _communication_failures(
+    scenario: dict,
+    base: dict,
+    max_bits_regression: float,
+    max_extra_rounds: int,
+) -> list[str]:
+    """Communication-currency gate for one scenario (schema v2 baselines).
+
+    Fails when the measured total bits exceed ``max_bits_regression`` times
+    the baseline, or when the run takes more than ``max_extra_rounds``
+    additional rounds/passes.  Baselines without communication columns
+    (schema v1) skip the gate for that scenario.
+    """
+    if "total_comm_bits" not in base or "rounds" not in base:
+        return []
+    problems = []
+    base_bits = int(base["total_comm_bits"])
+    bits = int(scenario.get("total_comm_bits", 0))
+    if base_bits > 0 and bits > max_bits_regression * base_bits:
+        problems.append(
+            f"total_comm_bits {bits} > {max_bits_regression:.1f}x baseline {base_bits}"
+        )
+    rounds = int(scenario.get("rounds", 0))
+    base_rounds = int(base["rounds"])
+    if rounds > base_rounds + max_extra_rounds:
+        problems.append(
+            f"rounds {rounds} > baseline {base_rounds} + {max_extra_rounds}"
+        )
+    return problems
+
+
 def compare_to_baseline(
     report: dict,
     baseline_path: str,
     max_regression: float,
     noise_floor_s: float = 0.015,
+    max_bits_regression: float = 2.0,
+    max_extra_rounds: int = 1,
 ) -> int:
     """Per-scenario regression gate; returns a process exit code.
 
-    The gated ratio is computed against ``max(baseline, noise_floor_s)``:
-    single-digit-millisecond scenarios (whose wall times are dominated by
-    scheduler noise on shared CI runners) only fail once they regress past
-    the absolute floor times ``max_regression``, not on jitter.  Both the
-    raw vs-baseline ratio and the gated vs-floor ratio are reported.
+    Wall time: the gated ratio is computed against ``max(baseline,
+    noise_floor_s)``: single-digit-millisecond scenarios (whose wall times
+    are dominated by scheduler noise on shared CI runners) only fail once
+    they regress past the absolute floor times ``max_regression``, not on
+    jitter.  Both the raw vs-baseline ratio and the gated vs-floor ratio are
+    reported.
+
+    Communication: measured bits and rounds are deterministic (no noise
+    floor needed) — more than ``max_bits_regression`` times the baseline
+    bits, or more than ``max_extra_rounds`` extra rounds, fails the gate.
     """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
@@ -221,15 +274,25 @@ def compare_to_baseline(
             continue
         raw_ratio = scenario["wall_time_s"] / base["wall_time_s"]
         gated_ratio = scenario["wall_time_s"] / max(base["wall_time_s"], noise_floor_s)
-        marker = "FAIL" if gated_ratio > max_regression else "ok"
+        comm_problems = _communication_failures(
+            scenario, base, max_bits_regression, max_extra_rounds
+        )
+        reasons = []
+        if gated_ratio > max_regression:
+            reasons.append(f"{gated_ratio:.2f}x wall")
+        reasons.extend(comm_problems)
+        marker = "FAIL" if reasons else "ok"
         floored = " (floored)" if base["wall_time_s"] < noise_floor_s else ""
+        comm_note = ("; " + "; ".join(comm_problems)) if comm_problems else ""
         print(
             f"[{marker}] {scenario['id']}: {scenario['wall_time_s']:.4f}s "
             f"vs baseline {base['wall_time_s']:.4f}s = {raw_ratio:.2f}x, "
-            f"gated {gated_ratio:.2f}x{floored}"
+            f"gated {gated_ratio:.2f}x{floored}, "
+            f"{scenario.get('total_comm_bits', 0)} comm bits, "
+            f"{scenario.get('rounds', 0)} rounds{comm_note}"
         )
-        if gated_ratio > max_regression:
-            failures.append((scenario["id"], gated_ratio))
+        if reasons:
+            failures.append((scenario["id"], "; ".join(reasons)))
     if missing:
         print(
             f"{len(missing)} scenario(s) have no baseline entry in {baseline_path}; "
@@ -237,12 +300,16 @@ def compare_to_baseline(
         )
     if failures:
         print(
-            f"{len(failures)} scenario(s) regressed more than "
-            f"{max_regression:.1f}x: {', '.join(f'{i} ({r:.2f}x)' for i, r in failures)}"
+            f"{len(failures)} scenario(s) regressed (wall time or communication): "
+            f"{', '.join(f'{i} ({reason})' for i, reason in failures)}"
         )
     if missing or failures:
         return 1
-    print(f"no scenario regressed more than {max_regression:.1f}x vs {baseline_path}")
+    print(
+        f"no scenario regressed more than {max_regression:.1f}x wall time, "
+        f"{max_bits_regression:.1f}x bits, or +{max_extra_rounds} rounds vs "
+        f"{baseline_path}"
+    )
     return 0
 
 
@@ -267,6 +334,18 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.015,
         help="baseline wall times are clamped up to this before the ratio test",
+    )
+    parser.add_argument(
+        "--max-bits-regression",
+        type=float,
+        default=2.0,
+        help="maximum allowed total-communication-bits ratio vs the baseline",
+    )
+    parser.add_argument(
+        "--max-extra-rounds",
+        type=int,
+        default=1,
+        help="maximum allowed extra rounds/passes vs the baseline",
     )
     args = parser.parse_args(argv)
 
@@ -293,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
         "geomean_wall_time_s": round(
             geomean([s["wall_time_s"] for s in scenarios]), 6
         ),
+        "total_comm_bits": sum(s["total_comm_bits"] for s in scenarios),
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -301,7 +381,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.baseline:
         return compare_to_baseline(
-            report, args.baseline, args.max_regression, args.noise_floor_s
+            report,
+            args.baseline,
+            args.max_regression,
+            args.noise_floor_s,
+            args.max_bits_regression,
+            args.max_extra_rounds,
         )
     return 0
 

@@ -53,6 +53,7 @@ from .api import (
     ProblemSpec,
     SolverConfig,
     StreamingConfig,
+    TransportConfig,
     available_models,
     available_problems,
     compare_models,
@@ -66,6 +67,7 @@ from .api import (
 from .core import (
     BasisResult,
     ClarksonParameters,
+    CommunicationSummary,
     LPTypeProblem,
     SolveResult,
     clarkson_solve,
@@ -106,6 +108,7 @@ __all__ = [
     "ProblemSpec",
     "SolverConfig",
     "StreamingConfig",
+    "TransportConfig",
     "available_models",
     "available_problems",
     "compare_models",
@@ -128,6 +131,7 @@ __all__ = [
     "streaming_clarkson_solve",
     "BasisResult",
     "ClarksonParameters",
+    "CommunicationSummary",
     "LPTypeProblem",
     "SolveResult",
     "clarkson_solve",

@@ -80,12 +80,15 @@ def ship_all_coordinator(
     network.begin_round()
     received: list[int] = []
     for site in network.sites:
-        network.coordinator_to_site(site.site_id, Message("send-all", cost_model.counters(1)))
+        network.coordinator_to_site(site.site_id, Message(("send-all", 1), cost_model.counters(1)))
+        # Same convention as the fabric's measured ConstraintBlock: the
+        # coefficient rows plus one counter per constraint identity.
         network.site_to_coordinator(
             site.site_id,
             Message(
                 site.local_indices,
-                cost_model.coefficients(site.num_local * payload_coeffs),
+                cost_model.coefficients(site.num_local * payload_coeffs)
+                + cost_model.counters(site.num_local),
             ),
         )
         received.extend(int(i) for i in site.local_indices)

@@ -1,38 +1,45 @@
-"""Coordinator-model binding of the Clarkson engine (Theorem 2).
+"""Coordinator-model binding of the Clarkson engine (Theorem 2), on the fabric.
 
 The constraint set is partitioned over ``k`` sites.  Every iteration of
-Algorithm 1 is simulated with three coordinator rounds:
+Algorithm 1 is simulated with three coordinator exchanges:
 
 1. **weight round** — the coordinator tells every site whether the previous
-   iteration succeeded (so the sites update their local weights) and asks
-   for the local weight totals ``w(S_i)``;
+   iteration succeeded (so the sites boost the violators they remembered)
+   and gathers the local weight totals ``w(S_i)``;
 2. **sampling round** — the coordinator draws a multinomial split of the
-   eps-net size over the per-site totals (Lemma 3.7) and sends the count
+   eps-net size over the per-site totals (Lemma 3.7) and scatters the count
    ``y_i`` to each site; each site replies with ``y_i`` constraints sampled
-   proportionally to its local weights;
-3. **violation round** — the coordinator broadcasts the basis (witness plus
-   basis constraints) it computed from the union of the samples; each site
-   replies with the weight and count of its local violators (measured with
-   one vectorised ``violation_mask`` call per site).
+   proportionally to its local weights, shipped as a measured
+   :class:`~repro.fabric.payload.ConstraintBlock`;
+3. **violation round** — the coordinator broadcasts the basis (a measured
+   :class:`~repro.fabric.payload.BasisPayload`: basis constraints plus the
+   encoded witness); each site measures its local violators with one
+   vectorised ``violation_mask`` call and replies with the violator weight,
+   its weight total, and the violator count.
 
-This uses ``O(nu * r)`` rounds and
+All communication flows through a :class:`~repro.fabric.topology.StarTopology`
+(the classic coordinator model: one ledger round per exchange) or a
+:class:`~repro.fabric.topology.TreeTopology` (the aggregation-tree variant:
+``ceil(log_fanout k)`` rounds per exchange, but the coordinator's per-round
+load drops from ``k * b`` to ``O(fanout * b)`` on combinable gathers).  Site
+state — local weights, the per-site RNG derived from the run seed, and the
+remembered violator positions — lives with the configured
+:class:`~repro.fabric.transport.Transport`: in-process by default, or on
+real worker processes with ``TransportConfig(kind="process")``, with
+bit-identical results either way.
+
+On the star this uses ``3`` rounds per iteration (a constant factor over the
+idealised accounting, recorded in EXPERIMENTS.md) and
 ``O~(lambda * nu * n^{1/r} + k)`` constraints of communication per run,
-matching Theorem 2 (a constant factor of 3 in rounds over the idealised
-accounting, recorded in EXPERIMENTS.md).  Sites keep explicit local weights,
-which is allowed: per-site memory is only required to be proportional to its
-input share.
-
-The iteration loop itself lives in :class:`repro.core.engine.ClarksonEngine`;
-rounds 1-2 happen inside the sampling strategy, round 3 inside the weight
-substrate, and a successful iteration's boost is queued as *pending* so the
-sites apply it during the next iteration's weight round, exactly as the
-protocol prescribes.
+matching Theorem 2.  The iteration loop itself lives in
+:class:`repro.core.engine.ClarksonEngine`; rounds 1-2 happen inside the
+sampling strategy, round 3 inside the weight substrate.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -53,41 +60,122 @@ from ..core.result import ResourceUsage, SolveResult
 from ..core.rng import SeedLike, as_generator, spawn
 from ..core.sampling import multinomial_split, weighted_sample_without_replacement
 from ..core.weights import ExplicitWeights, boost_factor
-from ..models.coordinator import CoordinatorNetwork, Message
+from ..fabric.payload import (
+    BasisPayload,
+    ConstraintBlock,
+    Count,
+    Flag,
+    Scalar,
+    StatsBlock,
+    constraint_rows,
+    encode_witness_vector,
+)
+from ..fabric.topology import StarTopology, TreeTopology
+from ..fabric.transport import SharedRef, resolve_transport
 from ..models.partition import partition_indices
-from ..api.config import CoordinatorConfig
+from ..api.config import CoordinatorConfig, TransportConfig
 from ..api.registry import register_model, warn_legacy_entry_point
 
 __all__ = ["coordinator_clarkson_solve"]
 
 
+# ---------------------------------------------------------------------- #
+# Site tasks: top-level functions so the process transport can ship them.
+# Each takes the site state dict, returns ``(state, result)``.
+# ---------------------------------------------------------------------- #
+
+
+def _site_weight_round(state: dict, apply_boost: int) -> tuple[dict, float]:
+    """Round 1, site side: boost remembered violators, report the total."""
+    if apply_boost and state["pending"] is not None and state["local_indices"].size:
+        state["weights"].multiply(state["pending"])
+    state["pending"] = None
+    total = (
+        float(np.exp(state["weights"].total_weight_log()))
+        if state["local_indices"].size
+        else 0.0
+    )
+    return state, total
+
+
+def _site_sample_round(state: dict, count: int) -> tuple[dict, ConstraintBlock]:
+    """Round 2, site side: draw ``count`` local constraints by weight."""
+    site_n = int(state["local_indices"].size)
+    y = int(min(count, site_n))
+    if y > 0:
+        local_sample = weighted_sample_without_replacement(
+            state["weights"].weights(), y, rng=state["rng"]
+        )
+        chosen = state["local_indices"][local_sample]
+    else:
+        chosen = np.empty(0, dtype=int)
+    payload = ConstraintBlock(
+        indices=chosen, rows=constraint_rows(state["problem"], chosen)
+    )
+    return state, payload
+
+
+def _site_violation_round(state: dict, witness) -> tuple[dict, tuple[float, float, int]]:
+    """Round 3, site side: measure local violators, remember their positions."""
+    idx = state["local_indices"]
+    if idx.size == 0:
+        state["pending"] = np.empty(0, dtype=int)
+        return state, (0.0, 0.0, 0)
+    mask = state["problem"].violation_mask(witness, idx)
+    positions = np.flatnonzero(mask)
+    weights: ExplicitWeights = state["weights"]
+    site_total = float(np.exp(weights.total_weight_log()))
+    violator_weight = weights.fraction(positions) * site_total
+    state["pending"] = positions
+    return state, (violator_weight, site_total, int(positions.size))
+
+
+def _site_ship_all(state: dict) -> tuple[dict, ConstraintBlock]:
+    """Small-instance path: ship the whole local share to the coordinator."""
+    idx = state["local_indices"]
+    return state, ConstraintBlock(indices=idx, rows=constraint_rows(state["problem"], idx))
+
+
 class _CoordinatorState:
-    """State shared between the coordinator sampler and substrate."""
+    """Coordinator-side run state: the topology plus the protocol flags."""
 
     def __init__(
         self,
         problem: LPTypeProblem,
-        network: CoordinatorNetwork,
+        topology: StarTopology | TreeTopology,
         oracle: ViolationOracle,
-        boost: float,
-        cost_model: BitCostModel,
         gen: np.random.Generator,
     ) -> None:
         self.problem = problem
-        self.network = network
+        self.topology = topology
         self.oracle = oracle
-        self.cost_model = cost_model
         self.gen = gen
-        self.site_rngs = spawn(gen, network.num_sites)
-        self.payload_coeffs = problem.payload_num_coefficients()
-        # Per-site explicit weights over the local constraints.
-        self.site_weights = [
-            ExplicitWeights.uniform(max(1, site.num_local), boost)
-            for site in network.sites
-        ]
-        # Violator positions of the last successful iteration, applied by the
-        # sites at the start of the next weight round.
-        self.pending_violators: list[np.ndarray] | None = None
+        self.num_sites = topology.num_sites
+        self.site_sizes: list[int] = []
+        # Whether the previous iteration succeeded (sites then apply the
+        # boost they remembered during the last violation round).
+        self.pending_boost = False
+
+    def install_sites(
+        self, partition: Sequence[np.ndarray], boost: float
+    ) -> None:
+        site_rngs = spawn(self.gen, self.num_sites)
+        # Ship the (large, read-only) problem once per transport worker; the
+        # per-site states hold a reference, not a copy.
+        self.topology.share("problem", self.problem)
+        for site_id, local in enumerate(partition):
+            local = np.asarray(local, dtype=int)
+            self.site_sizes.append(int(local.size))
+            self.topology.init_state(
+                site_id,
+                {
+                    "problem": SharedRef("problem"),
+                    "local_indices": local,
+                    "weights": ExplicitWeights.uniform(max(1, local.size), boost),
+                    "rng": site_rngs[site_id],
+                    "pending": None,
+                },
+            )
 
 
 class MultinomialSplitSampling(SamplingStrategy):
@@ -98,60 +186,39 @@ class MultinomialSplitSampling(SamplingStrategy):
 
     def draw(self, sample_size: int) -> np.ndarray:
         state = self.state
-        network = state.network
-        cost_model = state.cost_model
+        topology = state.topology
+        k = state.num_sites
 
         # ---------------- round 1: weight totals (and weight update) ---------------- #
-        network.begin_round()
-        local_totals = []
-        for site in network.sites:
-            flag = 1 if state.pending_violators is not None else 0
-            network.coordinator_to_site(
-                site.site_id, Message(("update?", flag), cost_model.counters(1))
-            )
-            if state.pending_violators is not None and site.num_local > 0:
-                state.site_weights[site.site_id].multiply(
-                    state.pending_violators[site.site_id]
-                )
-            total = (
-                float(np.exp(state.site_weights[site.site_id].total_weight_log()))
-                if site.num_local > 0
-                else 0.0
-            )
-            local_totals.append(total)
-            network.site_to_coordinator(
-                site.site_id, Message(total, cost_model.coefficients(1))
-            )
-        network.end_round()
-        state.pending_violators = None
+        flag = 1 if state.pending_boost else 0
+        topology.begin_round()
+        topology.broadcast_down(Flag("update?", flag))
+        totals = topology.run_all(_site_weight_round, [(flag,)] * k)
+        # The coordinator consumes every site's individual total (the
+        # Lemma 3.7 split needs the full vector), so a tree must forward
+        # them verbatim — a combine-summed gather could not deliver them.
+        delivered = topology.gather_up(
+            [Scalar(t) for t in totals], combinable=False
+        )
+        topology.end_round()
+        state.pending_boost = False
+        totals = np.asarray([p.value for p in delivered], dtype=float)
 
         # ---------------- round 2: multinomial split and local sampling ---------------- #
-        totals = np.asarray(local_totals, dtype=float)
         if totals.sum() <= 0:
             raise IterationLimitError("all site weights vanished; invalid state")
         counts = multinomial_split(totals, sample_size, rng=state.gen)
-        network.begin_round()
-        sampled_indices: list[int] = []
-        for site in network.sites:
-            network.coordinator_to_site(
-                site.site_id, Message(int(counts[site.site_id]), cost_model.counters(1))
-            )
-            y = int(min(counts[site.site_id], site.num_local))
-            if y > 0:
-                local_sample = weighted_sample_without_replacement(
-                    state.site_weights[site.site_id].weights(),
-                    y,
-                    rng=state.site_rngs[site.site_id],
-                )
-                chosen = site.local_indices[local_sample]
-                sampled_indices.extend(int(i) for i in chosen)
-                bits = cost_model.coefficients(len(chosen) * state.payload_coeffs)
-            else:
-                chosen = np.empty(0, dtype=int)
-                bits = cost_model.counters(1)
-            network.site_to_coordinator(site.site_id, Message(chosen, bits))
-        network.end_round()
-        return np.asarray(sorted(set(sampled_indices)), dtype=int)
+        topology.begin_round()
+        topology.scatter_down([Count(int(c)) for c in counts])
+        blocks = topology.run_all(
+            _site_sample_round, [(int(c),) for c in counts]
+        )
+        delivered_blocks = topology.gather_up(blocks)
+        topology.end_round()
+        sampled: set[int] = set()
+        for block in delivered_blocks:
+            sampled.update(int(i) for i in block.indices)
+        return np.asarray(sorted(sampled), dtype=int)
 
 
 class PartitionedWeightSubstrate(WeightSubstrate):
@@ -162,47 +229,54 @@ class PartitionedWeightSubstrate(WeightSubstrate):
 
     def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
         state = self.state
-        network = state.network
-        cost_model = state.cost_model
-        basis_bits = cost_model.coefficients(
-            (len(basis.indices) + 1) * state.payload_coeffs + state.problem.dimension
+        topology = state.topology
+        problem = state.problem
+        k = state.num_sites
+
+        basis_idx = np.asarray(basis.indices, dtype=int)
+        payload = BasisPayload(
+            indices=basis_idx,
+            rows=constraint_rows(problem, basis_idx),
+            witness=encode_witness_vector(problem, basis.witness),
         )
-        network.begin_round()
-        violator_count = 0
-        violator_weight = 0.0
-        total_weight = 0.0
-        per_site_violators: list[np.ndarray] = []
-        for site in network.sites:
-            network.coordinator_to_site(
-                site.site_id, Message(("basis", basis.indices), basis_bits)
-            )
-            if site.num_local > 0:
-                # Positions of the violators inside the site's local arrays.
-                mask = state.oracle.mask(basis.witness, site.local_indices)
-                positions = np.flatnonzero(mask)
-                weights = state.site_weights[site.site_id]
-                w_frac = weights.fraction(positions)
-                site_total = float(np.exp(weights.total_weight_log()))
-                violator_weight += w_frac * site_total
-                total_weight += site_total
-                violator_count += int(positions.size)
-                per_site_violators.append(positions)
-            else:
-                per_site_violators.append(np.empty(0, dtype=int))
-            network.site_to_coordinator(
-                site.site_id, Message(("stats",), cost_model.coefficients(2))
-            )
-        network.end_round()
+        topology.begin_round()
+        topology.broadcast_down(payload)
+        stats = topology.run_all(_site_violation_round, [(basis.witness,)] * k)
+        delivered = topology.gather_up(
+            [StatsBlock(np.asarray(s, dtype=float)) for s in stats], combinable=True
+        )
+        topology.end_round()
+        state.oracle.record_external(
+            sum(1 for size in state.site_sizes if size), sum(state.site_sizes)
+        )
+
+        violator_weight = sum(float(p.values[0]) for p in delivered)
+        total_weight = sum(float(p.values[1]) for p in delivered)
+        violator_count = sum(int(p.values[2]) for p in delivered)
         fraction = violator_weight / total_weight if total_weight > 0 else 0.0
         return ViolationStats(
-            num_violators=violator_count,
-            weight_fraction=fraction,
-            context=per_site_violators,
+            num_violators=violator_count, weight_fraction=fraction, context=None
         )
 
     def boost(self, stats: ViolationStats) -> None:
-        # The boost is applied by the sites during the next weight round.
-        self.state.pending_violators = stats.context
+        # The boost is applied by the sites during the next weight round,
+        # from the violator positions they remembered locally.
+        self.state.pending_boost = True
+
+
+def _build_topology(
+    num_sites: int,
+    topology: str,
+    fanout: int,
+    transport_config: Optional[TransportConfig],
+    cost_model: BitCostModel,
+) -> StarTopology | TreeTopology:
+    transport = resolve_transport(transport_config)
+    if topology == "tree":
+        return TreeTopology(num_sites, fanout=fanout, transport=transport, cost_model=cost_model)
+    if topology == "star":
+        return StarTopology(num_sites, transport=transport, cost_model=cost_model)
+    raise ValueError(f"unknown coordinator topology {topology!r}")
 
 
 def _coordinator_clarkson_solve(
@@ -213,6 +287,9 @@ def _coordinator_clarkson_solve(
     params: ClarksonParameters | None = None,
     cost_model: BitCostModel | None = None,
     rng: SeedLike = None,
+    topology: str = "star",
+    fanout: int = 2,
+    transport: Optional[TransportConfig] = None,
 ) -> SolveResult:
     """Coordinator driver body; see :func:`coordinator_clarkson_solve`.
 
@@ -227,61 +304,72 @@ def _coordinator_clarkson_solve(
 
     if partition is None:
         partition = partition_indices(n, num_sites, method="round_robin")
-    network = CoordinatorNetwork(partition, cost_model=cost_model)
+    net = _build_topology(len(partition), topology, fanout, transport, cost_model)
 
     sample_size, epsilon = resolve_sampling(problem, params)
-    payload_coeffs = problem.payload_num_coefficients()
-
-    if sample_size >= n:
-        # Cheaper to ship everything to the coordinator in one round.
-        network.begin_round()
-        for site in network.sites:
-            network.coordinator_to_site(site.site_id, Message("send-all", cost_model.counters(1)))
-            network.site_to_coordinator(
-                site.site_id,
-                Message(site.local_indices, cost_model.coefficients(site.num_local * payload_coeffs)),
-            )
-        network.end_round()
-        result = solve_small_problem(problem)
-        result.resources.rounds = network.rounds
-        result.resources.total_communication_bits = network.total_bits
-        result.resources.max_message_bits = network.max_message_bits
-        result.resources.machine_count = network.num_sites
-        result.metadata.update({"algorithm": "coordinator_clarkson", "r": params.r, "k": network.num_sites})
-        return result
-
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
+
     state = _CoordinatorState(
         problem=problem,
-        network=network,
+        topology=net,
         oracle=ViolationOracle(problem),
-        boost=boost,
-        cost_model=cost_model,
         gen=gen,
     )
-    engine = ClarksonEngine(
-        problem=problem,
-        sampler=MultinomialSplitSampling(state),
-        substrate=PartitionedWeightSubstrate(state),
-        config=EngineConfig(
-            sample_size=sample_size,
-            epsilon=epsilon,
-            budget=iteration_budget(problem, params.r, params.max_iterations),
-            keep_trace=params.keep_trace,
-            name="coordinator Clarkson",
-            basis_cache=params.basis_cache,
-        ),
-    )
-    outcome = engine.run()
+    try:
+        state.install_sites(partition, boost)
+
+        if sample_size >= n:
+            # Cheaper to ship everything to the coordinator in one exchange.
+            net.begin_round()
+            net.broadcast_down(Flag("send-all", 1))
+            blocks = net.run_all(_site_ship_all, [()] * net.num_sites)
+            net.gather_up(blocks)
+            net.end_round()
+            result = solve_small_problem(problem)
+            result.resources.rounds = net.rounds
+            result.resources.total_communication_bits = net.total_bits
+            result.resources.max_message_bits = net.max_message_bits
+            result.resources.max_machine_load_bits = net.max_load_bits
+            result.resources.machine_count = net.num_sites
+            result.resources.per_round = net.ledger.as_table()
+            result.metadata.update(
+                {
+                    "algorithm": "coordinator_clarkson",
+                    "r": params.r,
+                    "k": net.num_sites,
+                    "topology": topology,
+                    "transport": net.transport.name,
+                }
+            )
+            return result
+
+        engine = ClarksonEngine(
+            problem=problem,
+            sampler=MultinomialSplitSampling(state),
+            substrate=PartitionedWeightSubstrate(state),
+            config=EngineConfig(
+                sample_size=sample_size,
+                epsilon=epsilon,
+                budget=iteration_budget(problem, params.r, params.max_iterations),
+                keep_trace=params.keep_trace,
+                name="coordinator Clarkson",
+                basis_cache=params.basis_cache,
+            ),
+        )
+        outcome = engine.run()
+    finally:
+        net.close()
 
     resources = ResourceUsage(
-        rounds=network.rounds,
-        total_communication_bits=network.total_bits,
-        max_message_bits=network.max_message_bits,
-        machine_count=network.num_sites,
+        rounds=net.rounds,
+        total_communication_bits=net.total_bits,
+        max_message_bits=net.max_message_bits,
+        max_machine_load_bits=net.max_load_bits,
+        machine_count=net.num_sites,
         oracle_calls=state.oracle.calls,
         basis_cache_hits=outcome.cache_hits,
         basis_cache_misses=outcome.cache_misses,
+        per_round=net.ledger.as_table(),
     )
     return SolveResult(
         value=outcome.basis.value,
@@ -294,10 +382,12 @@ def _coordinator_clarkson_solve(
         metadata={
             "algorithm": "coordinator_clarkson",
             "r": params.r,
-            "k": network.num_sites,
+            "k": net.num_sites,
             "epsilon": epsilon,
             "sample_size": sample_size,
             "boost": boost,
+            "topology": topology,
+            "transport": net.transport.name,
         },
     )
 
@@ -322,7 +412,7 @@ def coordinator_clarkson_solve(
     ----------
     problem:
         The LP-type problem (shared read-only by the simulator; sites only
-        touch their own indices).
+        touch their own constraints and what they received).
     num_sites:
         Number of sites ``k`` (ignored if ``partition`` is given).
     r:
@@ -340,7 +430,8 @@ def coordinator_clarkson_solve(
     -------
     SolveResult
         ``resources.rounds`` and ``resources.total_communication_bits`` carry
-        the coordinator-model costs.
+        the coordinator-model costs; ``result.communication`` has the
+        per-round trace.
     """
     warn_legacy_entry_point("coordinator_clarkson_solve", "coordinator")
     return _coordinator_clarkson_solve(
@@ -359,15 +450,18 @@ def coordinator_clarkson_solve(
     config_cls=CoordinatorConfig,
     description=(
         "Coordinator-model Clarkson (Theorem 2): per-site explicit weights, "
-        "three rounds per iteration, O~(n^{1/r} + k) communication."
+        "three exchanges per iteration over a star or aggregation-tree "
+        "topology, O~(n^{1/r} + k) communication."
     ),
     currencies=(
         "rounds",
         "total_communication_bits",
         "max_message_bits",
+        "max_machine_load_bits",
         "machine_count",
     ),
     replaces="coordinator_clarkson_solve",
+    transports=("inprocess", "process"),
 )
 def _run_coordinator(problem: LPTypeProblem, config: CoordinatorConfig) -> SolveResult:
     return _coordinator_clarkson_solve(
@@ -378,4 +472,7 @@ def _run_coordinator(problem: LPTypeProblem, config: CoordinatorConfig) -> Solve
         params=config.to_parameters(),
         cost_model=config.cost_model,
         rng=config.seed,
+        topology=config.topology,
+        fanout=config.fanout,
+        transport=config.transport,
     )

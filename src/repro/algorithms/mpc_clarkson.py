@@ -1,4 +1,4 @@
-"""MPC binding of the Clarkson engine (Theorem 3).
+"""MPC binding of the Clarkson engine (Theorem 3), on the fabric.
 
 The constraint set is partitioned over ``k`` machines with roughly ``n^delta``
 constraints each; machine 0 plays the role of the coordinator.  Because the
@@ -6,16 +6,25 @@ coordinator machine cannot receive a message from every other machine in a
 single round without blowing up its load, the coordinator-model protocol is
 simulated with the standard tree primitives of Goodrich et al. [23]:
 
-* the per-iteration basis (and the success flag) is **broadcast** through an
-  ``n^delta``-ary tree in ``O(1/delta)`` rounds;
+* the per-iteration basis (a measured
+  :class:`~repro.fabric.payload.BasisPayload`) and the success flag are
+  **broadcast** through an ``n^delta``-ary tree in ``O(1/delta)`` rounds;
 * the total constraint weight is computed by an **aggregation** tree in
   ``O(1/delta)`` rounds;
-* every machine then samples its share of the eps-net locally (it knows its
-  own weights — they are implicit in the broadcast bases, evaluated in one
-  vectorised ``violation_count_matrix`` sweep per machine — and the total
-  weight) and ships the sample directly to the coordinator; the sample fits
-  in the coordinator's ``O~(n^delta)`` load by the choice of the eps-net
-  size.
+* every machine then samples its share of the eps-net locally (its weights
+  are implicit in the broadcast bases it stores, evaluated in one vectorised
+  ``violation_count_matrix`` sweep per machine, cached per basis version)
+  and ships the sample — a measured
+  :class:`~repro.fabric.payload.ConstraintBlock` — directly to the
+  coordinator; the sample fits in the coordinator's ``O~(n^delta)`` load by
+  the choice of the eps-net size.
+
+All communication flows through a
+:class:`~repro.fabric.topology.GridTopology`; machine state (local indices,
+the stored bases, the per-machine RNG derived from the run seed) lives with
+the configured :class:`~repro.fabric.transport.Transport` — in-process by
+default, real worker processes with ``TransportConfig(kind="process")`` —
+with bit-identical results either way.
 
 With ``r = ceil(1/delta)`` iterations of Algorithm 1 behaving as in the
 coordinator model, the total round count is ``O(nu / delta^2)`` and the
@@ -30,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -51,9 +60,19 @@ from ..core.result import ResourceUsage, SolveResult
 from ..core.rng import SeedLike, as_generator, spawn
 from ..core.sampling import gumbel_top_k
 from ..core.weights import boost_factor
-from ..models.mpc import MPCCluster
+from ..fabric.payload import (
+    BasisPayload,
+    ConstraintBlock,
+    Flag,
+    Scalar,
+    StatsBlock,
+    constraint_rows,
+    encode_witness_vector,
+)
+from ..fabric.topology import GridTopology
+from ..fabric.transport import SharedRef, resolve_transport
 from ..models.partition import partition_indices
-from ..api.config import MPCConfig
+from ..api.config import MPCConfig, TransportConfig
 from ..api.registry import register_model, warn_legacy_entry_point
 
 __all__ = ["mpc_clarkson_solve", "machines_for_load"]
@@ -70,66 +89,124 @@ def machines_for_load(num_constraints: int, delta: float) -> int:
     return max(1, int(math.ceil(num_constraints ** (1.0 - delta))))
 
 
+# ---------------------------------------------------------------------- #
+# Machine tasks: top-level functions so the process transport can ship them.
+# Each takes the machine state dict, returns ``(state, result)``.
+# ---------------------------------------------------------------------- #
+
+
+def _machine_weights(state: dict) -> tuple[np.ndarray, np.ndarray]:
+    """Implicit weights of this machine's constraints, cached per version.
+
+    The weight of constraint ``i`` is ``boost ** a_i`` where ``a_i`` counts
+    the stored bases it violates; values are kept relative to
+    ``boost ** num_bases`` to stay finite.  Recomputed only when a new basis
+    arrived since the last call.
+    """
+    version = len(state["witnesses"])
+    if state.get("weights_version") != version:
+        exponents = state["problem"].violation_count_matrix(
+            state["witnesses"], state["local_indices"]
+        )
+        relative = (exponents - version).astype(float)
+        state["log_weights"] = relative * float(np.log(state["boost"]))
+        state["weights"] = state["boost"] ** relative
+        state["weights_version"] = version
+    return state["weights"], state["log_weights"]
+
+
+def _machine_weight_total(state: dict) -> tuple[dict, float]:
+    """Aggregation-tree leaf value: this machine's total implicit weight."""
+    if state["local_indices"].size == 0:
+        return state, 0.0
+    weights, _ = _machine_weights(state)
+    return state, float(weights.sum())
+
+
+def _machine_sample(
+    state: dict, sample_size: int, total_weight: float
+) -> tuple[dict, Optional[ConstraintBlock]]:
+    """Draw this machine's binomial share of the eps-net (Gumbel top-k)."""
+    if state["local_indices"].size == 0:
+        return state, None
+    weights, log_weights = _machine_weights(state)
+    share = float(weights.sum()) / total_weight
+    draws = int(state["rng"].binomial(sample_size, min(1.0, share)))
+    draws = min(draws, int(state["local_indices"].size))
+    if draws == 0:
+        return state, None
+    chosen_positions = gumbel_top_k(log_weights, draws, rng=state["rng"])
+    chosen = state["local_indices"][chosen_positions]
+    return state, ConstraintBlock(
+        indices=chosen, rows=constraint_rows(state["problem"], chosen)
+    )
+
+
+def _machine_stats(state: dict, witness) -> tuple[dict, tuple[float, int]]:
+    """Violator weight and count of this machine against one witness."""
+    if state["local_indices"].size == 0:
+        return state, (0.0, 0)
+    weights, _ = _machine_weights(state)
+    mask = state["problem"].violation_mask(witness, state["local_indices"])
+    return state, (float(weights[mask].sum()), int(mask.sum()))
+
+
+def _machine_store_witness(state: dict, witness) -> tuple[dict, None]:
+    """A successful iteration's basis arrived: extend the implicit weights."""
+    state["witnesses"].append(witness)
+    return state, None
+
+
 class _MPCState:
-    """State shared between the MPC sampler and substrate."""
+    """Coordinator-side run state shared between the MPC sampler and substrate."""
 
     def __init__(
         self,
         problem: LPTypeProblem,
-        cluster: MPCCluster,
+        topology: GridTopology,
         oracle: ViolationOracle,
         boost: float,
         fanout: int,
-        cost_model: BitCostModel,
         gen: np.random.Generator,
     ) -> None:
         self.problem = problem
-        self.cluster = cluster
+        self.topology = topology
         self.oracle = oracle
         self.boost = boost
         self.fanout = fanout
-        self.cost_model = cost_model
-        self.machine_rngs = spawn(gen, cluster.num_machines)
-        self.payload_coeffs = problem.payload_num_coefficients()
-        # Every machine stores the broadcast bases and derives its local
-        # weights from them (implicit weights, exactly as in the streaming
-        # driver).
-        self.stored_witnesses: list[object] = []
+        self.gen = gen
+        self.machine_sizes: list[int] = []
         self.total_weight = 0.0
-        self._all_indices = problem.all_indices()
-        self._weights_cache: np.ndarray | None = None
-        self._log_weights_cache: np.ndarray | None = None
-        self._weights_version = -1
+        self.num_bases = 0
+        self._counted_version = -1
 
-    def global_implicit_weights(self) -> np.ndarray:
-        """Relative implicit weights of every constraint, one sweep per state.
+    def install_machines(self, partition: Sequence[np.ndarray]) -> None:
+        machine_rngs = spawn(self.gen, self.topology.num_machines)
+        # One shipped copy of the problem per transport worker, not per machine.
+        self.topology.share("problem", self.problem)
+        for machine_id, local in enumerate(partition):
+            local = np.asarray(local, dtype=int)
+            self.machine_sizes.append(int(local.size))
+            self.topology.init_state(
+                machine_id,
+                {
+                    "problem": SharedRef("problem"),
+                    "local_indices": local,
+                    "rng": machine_rngs[machine_id],
+                    "witnesses": [],
+                    "boost": self.boost,
+                    "weights_version": -1,
+                },
+            )
 
-        Each machine's weights depend only on its own constraints and the
-        globally broadcast bases, so the simulator evaluates the whole weight
-        vector in one ``violation_count_matrix`` call per stored-basis state
-        and hands each machine its slice — the values are identical to
-        per-machine evaluation (the exponent of row ``i`` involves only row
-        ``i``), just without a Python-level loop over ``~n^{1-delta}``
-        machines.  Weights are relative to ``boost ** num_bases`` to stay
-        finite.
-        """
-        version = len(self.stored_witnesses)
-        if self._weights_version != version:
-            exponents = self.oracle.count_matrix(self.stored_witnesses, self._all_indices)
-            relative = (exponents - version).astype(float)
-            self._log_weights_cache = relative * float(np.log(self.boost))
-            self._weights_cache = self.boost ** relative
-            self._weights_version = version
-        return self._weights_cache
-
-    def global_log_weights(self) -> np.ndarray:
-        """``log`` of :meth:`global_implicit_weights` (for Gumbel top-k draws)."""
-        self.global_implicit_weights()
-        return self._log_weights_cache
-
-    def local_weights(self, machine_indices: np.ndarray) -> np.ndarray:
-        """Implicit weights of one machine's constraints (a global-sweep slice)."""
-        return self.global_implicit_weights()[machine_indices]
+    def note_weight_sweep(self) -> None:
+        """Count the per-machine implicit-weight sweeps, once per version."""
+        if self._counted_version != self.num_bases:
+            self.oracle.record_external(
+                sum(1 for size in self.machine_sizes if size),
+                sum(self.machine_sizes),
+            )
+            self._counted_version = self.num_bases
 
 
 class TreeRoundSampling(SamplingStrategy):
@@ -140,17 +217,15 @@ class TreeRoundSampling(SamplingStrategy):
 
     def draw(self, sample_size: int) -> np.ndarray:
         state = self.state
-        cluster = state.cluster
-        cost_model = state.cost_model
+        topology = state.topology
+        k = topology.num_machines
 
         # -------- total weight via an aggregation tree -------- #
-        machine_totals = [
-            float(state.local_weights(m.local_indices).sum()) if m.num_local else 0.0
-            for m in cluster.machines
-        ]
-        _, total_weight = cluster.aggregate_tree(
+        state.note_weight_sweep()
+        machine_totals = topology.run_all(_machine_weight_total, [()] * k)
+        _, total_weight = topology.aggregate_tree(
             _COORDINATOR,
-            cost_model.coefficients(1),
+            Scalar(0.0),
             state.fanout,
             values=machine_totals,
             combine=lambda a, b: (a or 0.0) + (b or 0.0),
@@ -161,40 +236,19 @@ class TreeRoundSampling(SamplingStrategy):
         state.total_weight = total_weight
 
         # -------- local sampling, shipped to the coordinator -------- #
-        cluster.begin_round()
-        sampled_indices: list[int] = []
-        log_weights_all = state.global_log_weights()
-        for machine in cluster.machines:
-            if machine.num_local == 0:
+        topology.begin_round()
+        blocks = topology.run_all(
+            _machine_sample, [(sample_size, total_weight)] * k
+        )
+        sampled: set[int] = set()
+        for machine_id, block in enumerate(blocks):
+            if block is None:
                 continue
-            weights = state.local_weights(machine.local_indices)
-            share = float(weights.sum()) / total_weight
-            draws = int(
-                state.machine_rngs[machine.machine_id].binomial(
-                    sample_size, min(1.0, share)
-                )
-            )
-            draws = min(draws, machine.num_local)
-            if draws == 0:
-                continue
-            # Gumbel top-k on the machine's log weights: the same successive
-            # weighted sampling without replacement as ``Generator.choice``
-            # with probabilities, at one vectorised key draw per machine.
-            chosen_positions = gumbel_top_k(
-                log_weights_all[machine.local_indices],
-                draws,
-                rng=state.machine_rngs[machine.machine_id],
-            )
-            chosen = machine.local_indices[chosen_positions]
-            sampled_indices.extend(int(i) for i in chosen)
-            if machine.machine_id != _COORDINATOR:
-                cluster.send(
-                    machine.machine_id,
-                    _COORDINATOR,
-                    cost_model.coefficients(draws * state.payload_coeffs),
-                )
-        cluster.end_round()
-        return np.asarray(sorted(set(sampled_indices)), dtype=int)
+            if machine_id != _COORDINATOR:
+                block = topology.send(machine_id, _COORDINATOR, block)
+            sampled.update(int(i) for i in block.indices)
+        topology.end_round()
+        return np.asarray(sorted(sampled), dtype=int)
 
 
 class TreeImplicitSubstrate(WeightSubstrate):
@@ -205,31 +259,27 @@ class TreeImplicitSubstrate(WeightSubstrate):
 
     def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
         state = self.state
-        cluster = state.cluster
-        cost_model = state.cost_model
+        topology = state.topology
+        k = topology.num_machines
+        problem = state.problem
 
         # -------- broadcast the basis through the tree -------- #
-        basis_bits = cost_model.coefficients(
-            (len(basis.indices) + 1) * state.payload_coeffs + state.problem.dimension
+        basis_idx = np.asarray(basis.indices, dtype=int)
+        payload = BasisPayload(
+            indices=basis_idx,
+            rows=constraint_rows(problem, basis_idx),
+            witness=encode_witness_vector(problem, basis.witness),
         )
-        cluster.broadcast_tree(_COORDINATOR, basis_bits, state.fanout)
+        topology.broadcast_tree(_COORDINATOR, payload, state.fanout)
 
         # -------- violation statistics via an aggregation tree -------- #
-        # One global sweep for the weights and the mask; each machine's
-        # statistics are slices of it (identical values, no per-machine call).
-        per_machine_stats = []
-        weights_all = state.global_implicit_weights()
-        mask_all = state.oracle.mask(basis.witness, state._all_indices)
-        for machine in cluster.machines:
-            if machine.num_local == 0:
-                per_machine_stats.append((0.0, 0))
-                continue
-            weights = weights_all[machine.local_indices]
-            mask = mask_all[machine.local_indices]
-            per_machine_stats.append((float(weights[mask].sum()), int(mask.sum())))
-        _, aggregate = cluster.aggregate_tree(
+        per_machine_stats = topology.run_all(_machine_stats, [(basis.witness,)] * k)
+        state.oracle.record_external(
+            sum(1 for size in state.machine_sizes if size), sum(state.machine_sizes)
+        )
+        _, aggregate = topology.aggregate_tree(
             _COORDINATOR,
-            cost_model.coefficients(2),
+            StatsBlock(np.zeros(2)),
             state.fanout,
             values=per_machine_stats,
             combine=lambda a, b: (
@@ -249,12 +299,15 @@ class TreeImplicitSubstrate(WeightSubstrate):
 
     def boost(self, stats: ViolationStats) -> None:
         state = self.state
-        state.stored_witnesses.append(stats.context)
+        topology = state.topology
         # The success flag rides along with the next basis broadcast; a
-        # dedicated one-counter broadcast keeps the accounting explicit.
-        state.cluster.broadcast_tree(
-            _COORDINATOR, state.cost_model.counters(1), state.fanout
+        # dedicated one-counter broadcast keeps the accounting explicit.  The
+        # machines extend their stored bases with the witness they received.
+        topology.run_all(
+            _machine_store_witness, [(stats.context,)] * topology.num_machines
         )
+        state.num_bases += 1
+        topology.broadcast_tree(_COORDINATOR, Flag("success", 1), state.fanout)
 
 
 def _mpc_clarkson_solve(
@@ -265,6 +318,7 @@ def _mpc_clarkson_solve(
     params: ClarksonParameters | None = None,
     cost_model: BitCostModel | None = None,
     rng: SeedLike = None,
+    transport: Optional[TransportConfig] = None,
 ) -> SolveResult:
     """MPC driver body; see :func:`mpc_clarkson_solve`.
 
@@ -283,60 +337,83 @@ def _mpc_clarkson_solve(
     k = num_machines or machines_for_load(n, delta)
     if partition is None:
         partition = partition_indices(n, k, method="round_robin")
-    cluster = MPCCluster(partition, cost_model=cost_model)
+    topology = GridTopology(
+        len(partition), transport=resolve_transport(transport), cost_model=cost_model
+    )
     fanout = max(2, int(math.ceil(n ** delta)))
-    payload_coeffs = problem.payload_num_coefficients()
 
     sample_size, epsilon = resolve_sampling(problem, params)
-
-    if sample_size >= n or cluster.num_machines == 1:
-        # Everything fits on the coordinator: aggregate the constraints once.
-        if cluster.num_machines > 1:
-            per_machine_bits = cost_model.coefficients(
-                max(m.num_local for m in cluster.machines) * payload_coeffs
-            )
-            cluster.aggregate_tree(_COORDINATOR, per_machine_bits, fanout)
-        result = solve_small_problem(problem)
-        result.resources.rounds = cluster.rounds
-        result.resources.max_machine_load_bits = cluster.max_load_bits
-        result.resources.total_communication_bits = cluster.total_bits
-        result.resources.machine_count = cluster.num_machines
-        result.metadata.update({"algorithm": "mpc_clarkson", "delta": delta, "k": cluster.num_machines})
-        return result
-
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
+
     state = _MPCState(
         problem=problem,
-        cluster=cluster,
+        topology=topology,
         oracle=ViolationOracle(problem),
         boost=boost,
         fanout=fanout,
-        cost_model=cost_model,
         gen=gen,
     )
-    engine = ClarksonEngine(
-        problem=problem,
-        sampler=TreeRoundSampling(state),
-        substrate=TreeImplicitSubstrate(state),
-        config=EngineConfig(
-            sample_size=sample_size,
-            epsilon=epsilon,
-            budget=iteration_budget(problem, params.r, params.max_iterations),
-            keep_trace=params.keep_trace,
-            name="MPC Clarkson",
-            basis_cache=params.basis_cache,
-        ),
-    )
-    outcome = engine.run()
+    try:
+        state.install_machines(partition)
+
+        if sample_size >= n or topology.num_machines == 1:
+            # Everything fits on the coordinator: aggregate the constraints once.
+            if topology.num_machines > 1:
+                largest = max(
+                    (m for m in partition), key=lambda m: np.asarray(m).size
+                )
+                largest = np.asarray(largest, dtype=int)
+                topology.aggregate_tree(
+                    _COORDINATOR,
+                    ConstraintBlock(
+                        indices=largest, rows=constraint_rows(problem, largest)
+                    ),
+                    fanout,
+                )
+            result = solve_small_problem(problem)
+            result.resources.rounds = topology.rounds
+            result.resources.max_machine_load_bits = topology.max_load_bits
+            result.resources.total_communication_bits = topology.total_bits
+            result.resources.max_message_bits = topology.max_message_bits
+            result.resources.machine_count = topology.num_machines
+            result.resources.per_round = topology.ledger.as_table()
+            result.metadata.update(
+                {
+                    "algorithm": "mpc_clarkson",
+                    "delta": delta,
+                    "k": topology.num_machines,
+                    "transport": topology.transport.name,
+                }
+            )
+            return result
+
+        engine = ClarksonEngine(
+            problem=problem,
+            sampler=TreeRoundSampling(state),
+            substrate=TreeImplicitSubstrate(state),
+            config=EngineConfig(
+                sample_size=sample_size,
+                epsilon=epsilon,
+                budget=iteration_budget(problem, params.r, params.max_iterations),
+                keep_trace=params.keep_trace,
+                name="MPC Clarkson",
+                basis_cache=params.basis_cache,
+            ),
+        )
+        outcome = engine.run()
+    finally:
+        topology.close()
 
     resources = ResourceUsage(
-        rounds=cluster.rounds,
-        max_machine_load_bits=cluster.max_load_bits,
-        total_communication_bits=cluster.total_bits,
-        machine_count=cluster.num_machines,
+        rounds=topology.rounds,
+        max_machine_load_bits=topology.max_load_bits,
+        total_communication_bits=topology.total_bits,
+        max_message_bits=topology.max_message_bits,
+        machine_count=topology.num_machines,
         oracle_calls=state.oracle.calls,
         basis_cache_hits=outcome.cache_hits,
         basis_cache_misses=outcome.cache_misses,
+        per_round=topology.ledger.as_table(),
     )
     return SolveResult(
         value=outcome.basis.value,
@@ -350,11 +427,12 @@ def _mpc_clarkson_solve(
             "algorithm": "mpc_clarkson",
             "delta": delta,
             "r": params.r,
-            "k": cluster.num_machines,
+            "k": topology.num_machines,
             "epsilon": epsilon,
             "sample_size": sample_size,
             "boost": boost,
             "fanout": fanout,
+            "transport": topology.transport.name,
         },
     )
 
@@ -397,7 +475,7 @@ def mpc_clarkson_solve(
     -------
     SolveResult
         ``resources.rounds`` and ``resources.max_machine_load_bits`` carry
-        the MPC costs.
+        the MPC costs; ``result.communication`` has the per-round trace.
     """
     warn_legacy_entry_point("mpc_clarkson_solve", "mpc")
     return _mpc_clarkson_solve(
@@ -426,6 +504,7 @@ def mpc_clarkson_solve(
         "machine_count",
     ),
     replaces="mpc_clarkson_solve",
+    transports=("inprocess", "process"),
 )
 def _run_mpc(problem: LPTypeProblem, config: MPCConfig) -> SolveResult:
     return _mpc_clarkson_solve(
@@ -436,4 +515,5 @@ def _run_mpc(problem: LPTypeProblem, config: MPCConfig) -> SolveResult:
         params=config.to_parameters(),
         cost_model=config.cost_model,
         rng=config.seed,
+        transport=config.transport,
     )

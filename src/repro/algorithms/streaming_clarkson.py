@@ -1,4 +1,4 @@
-"""Multi-pass streaming binding of the Clarkson engine (Theorem 1).
+"""Multi-pass streaming binding of the Clarkson engine (Theorem 1), on the fabric.
 
 The streaming driver cannot store per-constraint weights.  Following
 Section 3.2 of the paper, it instead stores the bases of all *successful*
@@ -13,17 +13,23 @@ implemented with
   measures the weight fraction of the violating constraints (the success
   test of Algorithm 1) and detects termination.
 
+The stream reader is a fabric node on a
+:class:`~repro.fabric.topology.StreamTopology`: each pass executes as one
+node task (the reader's RNG, stored bases, and arrival order live in its
+node state), so under ``TransportConfig(kind="process")`` every pass runs in
+a real worker process — bit-identical to the in-process default, because the
+task code and the shipped RNG state are the same.  One ledger round is
+recorded per pass, which is what ``SolveResult.communication`` surfaces.
+
 Both passes consume the stream in bounded chunks: each chunk's implicit
 weights are evaluated against all stored bases in one vectorised
-``violation_count_matrix`` call (this is the hot path the scalar
-implementation paid ``O(n * bases)`` interpreted ``violates`` calls for),
-and the sampling pass turns each chunk into batch exponential keys, keeping
-a running top-``m`` — statistically identical to offering the items to the
-reservoir one at a time.  The simulator's live scratch is therefore
-``O(chunk + m + nu * r)``, mirroring the block buffering a real streaming
-system would use; the *reported* footprint counts the modelled algorithm's
-reservoir, stored bases, and in-flight item, which is the Theorem 1
-quantity.
+``violation_count_matrix`` call, and the sampling pass turns each chunk into
+batch exponential keys, keeping a running top-``m`` — statistically
+identical to offering the items to the reservoir one at a time.  The
+simulator's live scratch is therefore ``O(chunk + m + nu * r)``, mirroring
+the block buffering a real streaming system would use; the *reported*
+footprint counts the modelled algorithm's reservoir, stored bases, and
+in-flight item, which is the Theorem 1 quantity.
 
 This costs two passes per iteration — a factor-2 over the idealised
 one-pass-per-iteration accounting in the paper, recorded as such in
@@ -38,8 +44,8 @@ only provides the streaming substrate binding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+from dataclasses import replace
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -58,8 +64,10 @@ from ..core.result import ResourceUsage, SolveResult
 from ..core.rng import SeedLike, as_generator
 from ..core.sampling import exponential_keys
 from ..core.weights import boost_factor
-from ..models.streaming import MultiPassStream, StreamingMemory
-from ..api.config import StreamingConfig
+from ..fabric.topology import StreamTopology
+from ..fabric.transport import SharedRef, resolve_transport
+from ..models.streaming import StreamingMemory
+from ..api.config import StreamingConfig, TransportConfig
 from ..api.registry import register_model, warn_legacy_entry_point
 
 __all__ = ["streaming_clarkson_solve"]
@@ -70,59 +78,20 @@ __all__ = ["streaming_clarkson_solve"]
 _CHUNK_ITEMS = 8192
 
 
-@dataclass
-class _StoredBasis:
-    """A basis retained from a successful iteration (indices + witness)."""
-
-    indices: tuple[int, ...]
-    witness: object
-
-
-class _StreamingState:
-    """State shared between the streaming sampler and substrate."""
-
-    def __init__(
-        self,
-        problem: LPTypeProblem,
-        stream: MultiPassStream,
-        memory: StreamingMemory,
-        oracle: ViolationOracle,
-        boost: float,
-        rng: np.random.Generator,
-    ) -> None:
-        self.problem = problem
-        self.stream = stream
-        self.memory = memory
-        self.oracle = oracle
-        self.boost = boost
-        self.rng = rng
-        self.nu = problem.combinatorial_dimension
-        self.bit_size = problem.bit_size()
-        self.stored_bases: list[_StoredBasis] = []
-
-    def witnesses(self) -> list[object]:
-        return [basis.witness for basis in self.stored_bases]
-
-    def scan_chunks(self) -> Iterator[np.ndarray]:
-        """One pass over the stream, yielded as bounded index chunks."""
-        return self.stream.scan_chunks(_CHUNK_ITEMS)
-
-    def implicit_weights(self, indices: np.ndarray) -> np.ndarray:
-        """Relative implicit weights of one chunk, in one vectorised sweep.
-
-        Exponents are computed against all stored bases at once; weights are
-        reported relative to ``boost ** num_bases`` to avoid overflow
-        (sampling and weight fractions are invariant under a global scale).
-        """
-        exponents = self.oracle.count_matrix(self.witnesses(), indices)
-        return self.boost ** (exponents - len(self.stored_bases)).astype(float)
-
-    def record_footprint(self, stored_items: int) -> None:
-        items = stored_items + len(self.stored_bases) * self.nu + 1
-        self.memory.set_usage(items=items, bits=items * self.bit_size)
+# ---------------------------------------------------------------------- #
+# Reader tasks: top-level functions so the process transport can ship them.
+# The single stream-reader node holds the order, the RNG, and the stored
+# bases; one task call is one full pass.
+# ---------------------------------------------------------------------- #
 
 
-class ReservoirPassSampling(SamplingStrategy):
+def _chunk_weights(state: dict, chunk: np.ndarray) -> np.ndarray:
+    """Relative implicit weights of one chunk, in one vectorised sweep."""
+    exponents = state["problem"].violation_count_matrix(state["witnesses"], chunk)
+    return state["boost"] ** (exponents - len(state["witnesses"])).astype(float)
+
+
+def _reader_sampling_pass(state: dict, sample_size: int) -> tuple[dict, np.ndarray]:
     """One sampling pass: a weighted reservoir over on-the-fly implicit weights.
 
     Each chunk's exponential keys are drawn in a batch (one uniform per
@@ -131,29 +100,97 @@ class ReservoirPassSampling(SamplingStrategy):
     sample has precisely the Efraimidis-Spirakis distribution while the
     live scratch stays ``O(chunk + m)``.
     """
+    best_keys = np.empty(0, dtype=float)
+    best_items = np.empty(0, dtype=int)
+    for chunk in StreamTopology.iter_chunks(state["order"], _CHUNK_ITEMS):
+        weights = _chunk_weights(state, chunk)
+        keys = exponential_keys(weights, rng=state["rng"])
+        cand_keys = np.concatenate([best_keys, keys])
+        cand_items = np.concatenate([best_items, chunk])
+        if cand_keys.size > sample_size:
+            top = np.argpartition(cand_keys, cand_keys.size - sample_size)
+            top = top[cand_keys.size - sample_size:]
+            best_keys, best_items = cand_keys[top], cand_items[top]
+        else:
+            best_keys, best_items = cand_keys, cand_items
+    return state, np.sort(best_items)
+
+
+def _reader_verification_pass(
+    state: dict, witness
+) -> tuple[dict, tuple[float, float, int]]:
+    """One verification pass: violator weight / total weight / violator count."""
+    violator_count = 0
+    violator_weight = 0.0
+    total_weight = 0.0
+    for chunk in StreamTopology.iter_chunks(state["order"], _CHUNK_ITEMS):
+        weights = _chunk_weights(state, chunk)
+        mask = state["problem"].violation_mask(witness, chunk)
+        total_weight += float(weights.sum())
+        violator_weight += float(weights[mask].sum())
+        violator_count += int(mask.sum())
+    return state, (violator_weight, total_weight, violator_count)
+
+
+def _reader_store_basis(state: dict, witness) -> tuple[dict, None]:
+    """A successful iteration: remember its basis witness (implicit weights)."""
+    state["witnesses"].append(witness)
+    return state, None
+
+
+class _StreamingState:
+    """Coordinator-side state shared between the streaming sampler and substrate."""
+
+    def __init__(
+        self,
+        problem: LPTypeProblem,
+        topology: StreamTopology,
+        memory: StreamingMemory,
+        oracle: ViolationOracle,
+        boost: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.problem = problem
+        self.topology = topology
+        self.memory = memory
+        self.oracle = oracle
+        self.nu = problem.combinatorial_dimension
+        self.bit_size = problem.bit_size()
+        self.num_bases = 0
+        self.chunks_per_pass = max(
+            1, -(-topology.num_items // _CHUNK_ITEMS)
+        )
+        topology.share("problem", problem)
+        topology.init_state(
+            0,
+            {
+                "problem": SharedRef("problem"),
+                "order": topology.order(),
+                "rng": rng,
+                "witnesses": [],
+                "boost": boost,
+            },
+        )
+
+    def record_footprint(self, stored_items: int) -> None:
+        items = stored_items + self.num_bases * self.nu + 1
+        self.memory.set_usage(items=items, bits=items * self.bit_size)
+
+
+class ReservoirPassSampling(SamplingStrategy):
+    """The sampling pass, executed as one reader-node task."""
 
     def __init__(self, state: _StreamingState) -> None:
         self.state = state
 
     def draw(self, sample_size: int) -> np.ndarray:
         state = self.state
-        best_keys = np.empty(0, dtype=float)
-        best_items = np.empty(0, dtype=int)
-        for chunk in state.scan_chunks():
-            weights = state.implicit_weights(chunk)
-            keys = exponential_keys(weights, rng=state.rng)
-            cand_keys = np.concatenate([best_keys, keys])
-            cand_items = np.concatenate([best_items, chunk])
-            if cand_keys.size > sample_size:
-                top = np.argpartition(cand_keys, cand_keys.size - sample_size)
-                top = top[cand_keys.size - sample_size:]
-                best_keys, best_items = cand_keys[top], cand_items[top]
-            else:
-                best_keys, best_items = cand_keys, cand_items
+        items = state.topology.run_pass(_reader_sampling_pass, sample_size)
+        state.oracle.record_external(state.chunks_per_pass, state.topology.num_items)
         # Peak footprint of the sampling pass: the reservoir, the stored
         # bases, and the single in-flight stream item.
-        state.record_footprint(int(best_items.size))
-        return np.sort(best_items)
+        state.record_footprint(int(items.size))
+        return items
 
 
 class ImplicitStreamSubstrate(WeightSubstrate):
@@ -169,15 +206,12 @@ class ImplicitStreamSubstrate(WeightSubstrate):
 
     def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
         state = self.state
-        violator_count = 0
-        violator_weight = 0.0
-        total_weight = 0.0
-        for chunk in state.scan_chunks():
-            weights = state.implicit_weights(chunk)
-            mask = state.oracle.mask(basis.witness, chunk)
-            total_weight += float(weights.sum())
-            violator_weight += float(weights[mask].sum())
-            violator_count += int(mask.sum())
+        violator_weight, total_weight, violator_count = state.topology.run_pass(
+            _reader_verification_pass, basis.witness
+        )
+        state.oracle.record_external(
+            2 * state.chunks_per_pass, 2 * state.topology.num_items
+        )
         state.record_footprint(int(len(sample)))
         fraction = violator_weight / total_weight if total_weight > 0 else 0.0
         return ViolationStats(
@@ -186,9 +220,8 @@ class ImplicitStreamSubstrate(WeightSubstrate):
 
     def boost(self, stats: ViolationStats) -> None:
         basis: BasisResult = stats.context
-        self.state.stored_bases.append(
-            _StoredBasis(indices=basis.indices, witness=basis.witness)
-        )
+        self.state.topology.run_on(0, _reader_store_basis, basis.witness)
+        self.state.num_bases += 1
 
 
 def _streaming_clarkson_solve(
@@ -197,6 +230,7 @@ def _streaming_clarkson_solve(
     order: Sequence[int] | np.ndarray | None = None,
     params: ClarksonParameters | None = None,
     rng: SeedLike = None,
+    transport: Optional[TransportConfig] = None,
 ) -> SolveResult:
     """Streaming driver body; see :func:`streaming_clarkson_solve`.
 
@@ -207,53 +241,61 @@ def _streaming_clarkson_solve(
     params = replace(base_params, r=r)
     gen = as_generator(rng)
     n = problem.num_constraints
-    stream = MultiPassStream(n, order=order)
+    topology = StreamTopology(n, order=order, transport=resolve_transport(transport))
     memory = StreamingMemory()
     bit_size = problem.bit_size()
 
     sample_size, epsilon = resolve_sampling(problem, params)
     if sample_size >= n:
         # The sample would contain the whole stream: one pass, full storage.
-        for _ in stream.scan_chunks(_CHUNK_ITEMS):
-            pass
+        topology.record_pass()
         result = solve_small_problem(problem)
-        result.resources.passes = stream.passes
+        result.resources.passes = topology.passes
         result.resources.space_peak_items = n
         result.resources.space_peak_bits = n * bit_size
+        result.resources.per_round = topology.ledger.as_table()
         result.metadata.update({"algorithm": "streaming_clarkson", "r": params.r})
         return result
 
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
-    state = _StreamingState(
-        problem=problem,
-        stream=stream,
-        memory=memory,
-        oracle=ViolationOracle(problem),
-        boost=boost,
-        rng=gen,
-    )
-    engine = ClarksonEngine(
-        problem=problem,
-        sampler=ReservoirPassSampling(state),
-        substrate=ImplicitStreamSubstrate(state),
-        config=EngineConfig(
-            sample_size=sample_size,
-            epsilon=epsilon,
-            budget=iteration_budget(problem, params.r, params.max_iterations),
-            keep_trace=params.keep_trace,
-            name="streaming Clarkson",
-            basis_cache=params.basis_cache,
-        ),
-    )
-    outcome = engine.run()
+    try:
+        # State installation already talks to the transport (sharing the
+        # problem, shipping the reader state), so it runs inside the same
+        # try/finally that guarantees topology.close() — a run-private
+        # process pool must not leak when installation fails.
+        state = _StreamingState(
+            problem=problem,
+            topology=topology,
+            memory=memory,
+            oracle=ViolationOracle(problem),
+            boost=boost,
+            rng=gen,
+        )
+        engine = ClarksonEngine(
+            problem=problem,
+            sampler=ReservoirPassSampling(state),
+            substrate=ImplicitStreamSubstrate(state),
+            config=EngineConfig(
+                sample_size=sample_size,
+                epsilon=epsilon,
+                budget=iteration_budget(problem, params.r, params.max_iterations),
+                keep_trace=params.keep_trace,
+                name="streaming Clarkson",
+                basis_cache=params.basis_cache,
+            ),
+        )
+        outcome = engine.run()
+    finally:
+        topology.close()
 
     resources = ResourceUsage(
-        passes=stream.passes,
+        passes=topology.passes,
         space_peak_items=memory.peak_items,
         space_peak_bits=memory.peak_bits,
         oracle_calls=state.oracle.calls,
         basis_cache_hits=outcome.cache_hits,
         basis_cache_misses=outcome.cache_misses,
+        per_round=topology.ledger.as_table(),
     )
     return SolveResult(
         value=outcome.basis.value,
@@ -269,7 +311,8 @@ def _streaming_clarkson_solve(
             "epsilon": epsilon,
             "sample_size": sample_size,
             "boost": boost,
-            "stored_bases": len(state.stored_bases),
+            "stored_bases": state.num_bases,
+            "transport": topology.transport.name,
         },
     )
 
@@ -322,6 +365,7 @@ def streaming_clarkson_solve(
     ),
     currencies=("passes", "space_peak_items", "space_peak_bits"),
     replaces="streaming_clarkson_solve",
+    transports=("inprocess", "process"),
 )
 def _run_streaming(problem: LPTypeProblem, config: StreamingConfig) -> SolveResult:
     return _streaming_clarkson_solve(
@@ -330,4 +374,5 @@ def _run_streaming(problem: LPTypeProblem, config: StreamingConfig) -> SolveResu
         order=config.order,
         params=config.to_parameters(),
         rng=config.seed,
+        transport=config.transport,
     )

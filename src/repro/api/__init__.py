@@ -15,7 +15,13 @@ Everything here is re-exported from the top-level ``repro`` package; see
 """
 
 from .batch import BatchResult, solve_many
-from .config import CoordinatorConfig, MPCConfig, SolverConfig, StreamingConfig
+from .config import (
+    CoordinatorConfig,
+    MPCConfig,
+    SolverConfig,
+    StreamingConfig,
+    TransportConfig,
+)
 from .facade import DEFAULT_COMPARISON_MODELS, compare_models, solve
 from .registry import (
     ModelSpec,
@@ -41,6 +47,7 @@ __all__ = [
     "MPCConfig",
     "SolverConfig",
     "StreamingConfig",
+    "TransportConfig",
     "DEFAULT_COMPARISON_MODELS",
     "compare_models",
     "solve",

@@ -41,7 +41,58 @@ __all__ = [
     "StreamingConfig",
     "CoordinatorConfig",
     "MPCConfig",
+    "TransportConfig",
 ]
+
+#: Transport kinds understood by :func:`repro.fabric.resolve_transport`.
+TRANSPORT_KINDS = ("inprocess", "process")
+
+#: Coordinator topologies understood by the coordinator driver.
+COORDINATOR_TOPOLOGIES = ("star", "tree")
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """How a distributed model's nodes execute and exchange payloads.
+
+    Attributes
+    ----------
+    kind:
+        ``"inprocess"`` (deterministic, zero-copy, the default) or
+        ``"process"`` (real multiprocess workers; bit-identical results —
+        node states, including per-node RNGs derived via
+        ``SeedSequence.spawn``, live with the workers).
+    max_workers:
+        Worker-process count for the ``"process"`` kind (``>= 1``); nodes
+        are pinned to workers by ``node_id % max_workers``.
+    reuse_pool:
+        Whether ``"process"`` solves share one process-wide worker pool
+        (start-up cost paid once) or each solve owns a private pool.
+    start_method:
+        :mod:`multiprocessing` start method for the workers (``"spawn"``
+        inherits nothing and behaves identically on every platform).
+    """
+
+    kind: str = "inprocess"
+    max_workers: int = 2
+    reuse_pool: bool = True
+    start_method: str = "spawn"
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRANSPORT_KINDS:
+            raise InvalidConfigError(
+                f"TransportConfig.kind must be one of {TRANSPORT_KINDS} "
+                f"(got {self.kind!r})"
+            )
+        if self.max_workers < 1:
+            raise InvalidConfigError(
+                f"TransportConfig.max_workers must be >= 1 (got {self.max_workers!r})"
+            )
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise InvalidConfigError(
+                "TransportConfig.start_method must be 'spawn', 'fork', or "
+                f"'forkserver' (got {self.start_method!r})"
+            )
 
 
 @dataclass(frozen=True)
@@ -177,9 +228,13 @@ class StreamingConfig(SolverConfig):
     ----------
     order:
         Optional arrival order of the constraints (default: natural order).
+    transport:
+        Optional :class:`TransportConfig`; with ``kind="process"`` the
+        stream reader runs its passes in a worker process.
     """
 
     order: Optional[Sequence[int]] = None
+    transport: Optional[TransportConfig] = None
 
 
 @dataclass(frozen=True)
@@ -195,15 +250,36 @@ class CoordinatorConfig(SolverConfig):
     cost_model:
         Bit-cost model for the communication accounting (``None``: default
         :class:`BitCostModel`).
+    topology:
+        ``"star"`` (the classic coordinator model, one round per exchange)
+        or ``"tree"`` (sites aggregate through a ``fanout``-ary tree:
+        ``ceil(log_fanout k)`` times more rounds, but the coordinator's
+        per-round load shrinks from ``k * b`` to ``O(b)`` on combinable
+        gathers).
+    fanout:
+        Arity of the aggregation tree (``>= 2``; only used by ``"tree"``).
+    transport:
+        Optional :class:`TransportConfig`; with ``kind="process"`` the sites
+        run as real worker processes.
     """
 
     num_sites: int = 4
     partition: Optional[Sequence[Any]] = None
     cost_model: Optional[BitCostModel] = None
+    topology: str = "star"
+    fanout: int = 2
+    transport: Optional[TransportConfig] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
         self._check(self.num_sites >= 1, "num_sites", "must be >= 1", self.num_sites)
+        self._check(
+            self.topology in COORDINATOR_TOPOLOGIES,
+            "topology",
+            f"must be one of {COORDINATOR_TOPOLOGIES}",
+            self.topology,
+        )
+        self._check(self.fanout >= 2, "fanout", "must be >= 2", self.fanout)
 
 
 @dataclass(frozen=True)
@@ -222,12 +298,16 @@ class MPCConfig(SolverConfig):
         Optional explicit partition of the constraint indices over machines.
     cost_model:
         Bit-cost model for the load accounting.
+    transport:
+        Optional :class:`TransportConfig`; with ``kind="process"`` the
+        machines run as real worker processes.
     """
 
     delta: float = 0.5
     num_machines: Optional[int] = None
     partition: Optional[Sequence[Any]] = None
     cost_model: Optional[BitCostModel] = None
+    transport: Optional[TransportConfig] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()

@@ -87,6 +87,10 @@ class ModelSpec:
         The ``ResourceUsage`` fields that are meaningful for this model.
     replaces:
         Name of the legacy entry point this model supersedes, if any.
+    transports:
+        The :class:`~repro.api.config.TransportConfig` kinds the model's
+        driver can execute on (every model runs in-process; the distributed
+        models additionally run on real worker processes).
     """
 
     name: str
@@ -95,6 +99,7 @@ class ModelSpec:
     description: str = ""
     currencies: tuple[str, ...] = ()
     replaces: str | None = None
+    transports: tuple[str, ...] = ("inprocess",)
 
     @property
     def config_keys(self) -> tuple[str, ...]:
@@ -149,6 +154,7 @@ def register_model(
     description: str = "",
     currencies: tuple[str, ...] = (),
     replaces: str | None = None,
+    transports: tuple[str, ...] = ("inprocess",),
 ) -> Callable[..., Any]:
     """Register a computation model; usable as a decorator on its runner.
 
@@ -166,6 +172,7 @@ def register_model(
             description=description,
             currencies=tuple(currencies),
             replaces=replaces,
+            transports=tuple(transports),
         )
         return fn
 
@@ -267,6 +274,7 @@ def describe_model(name: str) -> Mapping[str, Any]:
         "config_class": spec.config_cls.__name__,
         "config_keys": config_fields,
         "replaces": spec.replaces,
+        "transports": list(spec.transports),
     }
 
 

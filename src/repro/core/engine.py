@@ -97,6 +97,17 @@ class ViolationOracle:
         self.calls += 1
         self.constraints_tested += int(len(indices))
 
+    def record_external(self, calls: int, constraints: int) -> None:
+        """Fold in violation tests that ran outside this oracle object.
+
+        The fabric drivers evaluate masks *inside* node tasks (possibly in
+        another process), where this oracle is unreachable; the driver
+        reports those evaluations here so ``ResourceUsage.oracle_calls``
+        stays comparable across models and transports.
+        """
+        self.calls += int(calls)
+        self.constraints_tested += int(constraints)
+
     def mask(self, witness: Any, indices: np.ndarray) -> np.ndarray:
         """Boolean mask over ``indices``: which constraints violate ``witness``."""
         self._count(indices)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-__all__ = ["IterationRecord", "ResourceUsage", "SolveResult"]
+__all__ = ["CommunicationSummary", "IterationRecord", "ResourceUsage", "SolveResult"]
 
 
 @dataclass(frozen=True)
@@ -127,6 +127,33 @@ class ResourceUsage:
             setattr(self, name, getattr(merged, name))
 
 
+@dataclass(frozen=True)
+class CommunicationSummary:
+    """The communication story of one run, in the fabric's four currencies.
+
+    Derived from :class:`ResourceUsage` by ``SolveResult.communication`` —
+    the single code path every model's trace goes through.  ``rounds`` is the
+    model's synchronisation count (coordinator/MPC rounds, or stream passes);
+    ``per_round`` is the topology ledger: one entry per round with the
+    measured bits (and, where meaningful, the per-node load) of that round.
+    """
+
+    rounds: int
+    total_bits: int
+    max_message_bits: int
+    max_load_bits: int
+    per_round: tuple[Mapping[str, int], ...] = ()
+
+    def summary(self) -> dict:
+        """A flat dict convenient for printing communication tables."""
+        return {
+            "rounds": self.rounds,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "max_load_bits": self.max_load_bits,
+        }
+
+
 @dataclass
 class SolveResult:
     """The outcome of one solver run.
@@ -162,6 +189,22 @@ class SolveResult:
     resources: ResourceUsage = field(default_factory=ResourceUsage)
     trace: list[IterationRecord] = field(default_factory=list)
     metadata: dict = field(default_factory=dict)
+
+    @property
+    def communication(self) -> CommunicationSummary:
+        """Per-run communication trace, uniform across every model.
+
+        Streaming runs report their pass count as ``rounds`` (they move no
+        bits); coordinator and MPC runs report the topology ledger verbatim.
+        """
+        res = self.resources
+        return CommunicationSummary(
+            rounds=res.rounds if res.rounds else res.passes,
+            total_bits=res.total_communication_bits,
+            max_message_bits=res.max_message_bits,
+            max_load_bits=res.max_machine_load_bits,
+            per_round=tuple(dict(entry) for entry in res.per_round),
+        )
 
     def summary(self) -> dict:
         """A flat dict convenient for printing benchmark tables."""

@@ -32,12 +32,23 @@ def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
 
     Used by the distributed substrates to give every site / machine its own
     private randomness while keeping the whole experiment reproducible from a
-    single seed.
+    single seed.  Children are derived through ``SeedSequence.spawn`` (the
+    same mechanism the batch layer and the process-pool transport use), so a
+    child's stream is a well-separated function of the root entropy rather
+    than of a raw integer draw; generators without an attached seed sequence
+    fall back to integer-seeded children.
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    if count == 0:
+        return []
+    try:
+        # AttributeError: numpy < 1.25 has no Generator.spawn; TypeError:
+        # the generator was built without an attached SeedSequence.
+        return list(rng.spawn(count))
+    except (AttributeError, TypeError):
+        seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+        return [np.random.default_rng(int(s)) for s in seeds]
 
 
 def derive_seed(rng_or_seed: SeedLike, salt: int = 0) -> int:

@@ -1,17 +1,18 @@
-"""The coordinator-model substrate.
+"""The coordinator-model substrate: a thin binding over the fabric.
 
 ``k`` sites each hold a part of the constraint set; a coordinator exchanges
-messages with the sites in rounds.  In every round the coordinator sends one
-message to each site and each site replies with one message.  The substrate
-tracks:
+messages with the sites in rounds.  The round management and the bit ledger
+live in :class:`repro.fabric.topology.StarTopology`; this module keeps the
+historical :class:`CoordinatorNetwork` / :class:`Message` API as a shim over
+it for baselines and user code.
 
-* the number of rounds,
-* the total number of bits exchanged (in both directions),
-* the largest single message.
-
-Messages carry real payloads (the drivers are written so that a site only
-ever reads its own constraints plus what it received), but the accounting is
-what the benchmarks consume.
+:class:`Message` carries a *caller-declared* bit size — the legacy contract.
+Because a declared size can silently under-count what the payload actually
+holds, the network accepts ``strict_bits=True``: every message's payload is
+then measured (serialized the way the fabric would serialize it) and a
+divergence between declared and measured bits raises
+:class:`~repro.core.exceptions.CommunicationError`.  The fabric drivers
+sidestep the hazard entirely — their payloads are measured by default.
 """
 
 from __future__ import annotations
@@ -21,8 +22,10 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from ..core.accounting import BitCostModel, RoundLedger
+from ..core.accounting import BitCostModel
 from ..core.exceptions import CommunicationError
+from ..fabric.payload import RawBits, measure_object_bits
+from ..fabric.topology import StarTopology
 
 __all__ = ["Message", "Site", "CoordinatorNetwork"]
 
@@ -37,6 +40,12 @@ class Message:
     def __post_init__(self) -> None:
         if self.bits < 0:
             raise ValueError("message size must be non-negative")
+
+    @classmethod
+    def measured(cls, payload: Any, cost_model: BitCostModel | None = None) -> "Message":
+        """A message whose bit size is measured from the payload, not declared."""
+        model = cost_model or BitCostModel()
+        return cls(payload=payload, bits=measure_object_bits(payload, model))
 
 
 @dataclass
@@ -56,27 +65,36 @@ class Site:
 
 
 class CoordinatorNetwork:
-    """Round-based communication between a coordinator and ``k`` sites."""
+    """Round-based communication between a coordinator and ``k`` sites.
+
+    A shim over :class:`~repro.fabric.topology.StarTopology`: rounds, bit
+    totals, and the per-round ledger are the topology's; the legacy
+    declared-bits :class:`Message` is wrapped in a
+    :class:`~repro.fabric.payload.RawBits` payload so the accounting is
+    unchanged.  With ``strict_bits=True`` a declared size that diverges from
+    the measured size of the payload raises :class:`CommunicationError`.
+    """
 
     def __init__(
         self,
         local_indices: Sequence[np.ndarray],
         cost_model: BitCostModel | None = None,
+        strict_bits: bool = False,
     ) -> None:
         if not local_indices:
             raise ValueError("need at least one site")
         self.sites = [Site(site_id=i, local_indices=idx) for i, idx in enumerate(local_indices)]
         self.cost_model = cost_model or BitCostModel()
-        self.ledger = RoundLedger()
-        self._round_open = False
-        self._round_bits_down = 0
-        self._round_bits_up = 0
-        self.max_message_bits = 0
-        self.total_bits = 0
+        self.strict_bits = bool(strict_bits)
+        self.topology = StarTopology(len(self.sites), cost_model=self.cost_model)
 
     # ------------------------------------------------------------------ #
     # Round management
     # ------------------------------------------------------------------ #
+
+    @property
+    def ledger(self):
+        return self.topology.ledger
 
     @property
     def num_sites(self) -> int:
@@ -84,58 +102,49 @@ class CoordinatorNetwork:
 
     @property
     def rounds(self) -> int:
-        return self.ledger.num_rounds
+        return self.topology.rounds
+
+    @property
+    def total_bits(self) -> int:
+        return self.topology.total_bits
+
+    @property
+    def max_message_bits(self) -> int:
+        return self.topology.max_message_bits
 
     def begin_round(self) -> None:
-        if self._round_open:
-            raise CommunicationError("previous round is still open")
-        self._round_open = True
-        self._round_bits_down = 0
-        self._round_bits_up = 0
+        self.topology.begin_round()
 
     def end_round(self) -> None:
-        if not self._round_open:
-            raise CommunicationError("no round is open")
-        self.ledger.record(
-            bits_down=self._round_bits_down,
-            bits_up=self._round_bits_up,
-            bits=self._round_bits_down + self._round_bits_up,
-        )
-        self._round_open = False
+        self.topology.end_round()
 
     # ------------------------------------------------------------------ #
     # Messaging
     # ------------------------------------------------------------------ #
 
+    def _wrap(self, message: Message) -> RawBits:
+        if self.strict_bits:
+            measured = measure_object_bits(message.payload, self.cost_model)
+            if measured != message.bits:
+                raise CommunicationError(
+                    f"declared message size ({message.bits} bits) diverges from "
+                    f"the measured size of its payload ({measured} bits); "
+                    "declare the measured size or build the message with "
+                    "Message.measured(...)"
+                )
+        return RawBits(payload=message.payload, bits=message.bits)
+
     def coordinator_to_site(self, site_id: int, message: Message) -> Message:
         """Deliver a coordinator message to a site (counted as downstream bits)."""
-        self._check_open(site_id)
-        self._round_bits_down += message.bits
-        self._register(message.bits)
+        self.topology.send_down(site_id, self._wrap(message))
         return message
 
     def site_to_coordinator(self, site_id: int, message: Message) -> Message:
         """Deliver a site's reply to the coordinator (counted as upstream bits)."""
-        self._check_open(site_id)
-        self._round_bits_up += message.bits
-        self._register(message.bits)
+        self.topology.send_up(site_id, self._wrap(message))
         return message
 
     def broadcast(self, message: Message) -> None:
         """Send the same message from the coordinator to every site."""
         for site in self.sites:
             self.coordinator_to_site(site.site_id, message)
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-
-    def _check_open(self, site_id: int) -> None:
-        if not self._round_open:
-            raise CommunicationError("messages may only be sent inside an open round")
-        if not 0 <= site_id < self.num_sites:
-            raise CommunicationError(f"site {site_id} does not exist")
-
-    def _register(self, bits: int) -> None:
-        self.total_bits += bits
-        self.max_message_bits = max(self.max_message_bits, bits)

@@ -1,20 +1,15 @@
-"""The massively-parallel-computation (MPC) substrate.
+"""The massively-parallel-computation (MPC) substrate: a fabric binding.
 
 ``k`` machines hold the partitioned input; computation proceeds in rounds
 and in every round each machine may exchange messages with any other
 machine.  The quantity of interest is the *load*: the maximum number of bits
-sent or received by any machine in any round.  The substrate tracks rounds,
-per-round per-machine sent/received bits, and the overall maximum load.
+sent or received by any machine in any round.
 
-Besides raw point-to-point messaging, the substrate provides the two
+The round mechanics, the per-machine load accounting, and the two tree
 primitives the paper's MPC implementation relies on (Section 3.4, following
-Goodrich et al. [23]):
-
-* :meth:`broadcast_tree` — deliver a message from one machine to all others
-  through a fan-out tree, using ``O(log_fanout k)`` rounds with per-machine
-  load ``fanout * message_bits``;
-* :meth:`aggregate_tree` — combine one fixed-size value per machine into a
-  single machine through the same tree in reverse.
+Goodrich et al. [23]) all live in
+:class:`repro.fabric.topology.GridTopology`; :class:`MPCCluster` is the
+historical bits-declared shim over it, kept for baselines and user code.
 """
 
 from __future__ import annotations
@@ -24,8 +19,9 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from ..core.accounting import BitCostModel, RoundLedger
-from ..core.exceptions import CommunicationError
+from ..core.accounting import BitCostModel
+from ..fabric.payload import RawBits
+from ..fabric.topology import GridTopology
 
 __all__ = ["Machine", "MPCCluster"]
 
@@ -47,7 +43,13 @@ class Machine:
 
 
 class MPCCluster:
-    """Round-based all-to-all communication between ``k`` machines."""
+    """Round-based all-to-all communication between ``k`` machines.
+
+    A shim over :class:`~repro.fabric.topology.GridTopology` that keeps the
+    legacy declared-``bits`` call signatures (``send(src, dst, bits)``,
+    ``broadcast_tree(root, message_bits, fanout)``, ...) by wrapping the
+    declared sizes in :class:`~repro.fabric.payload.RawBits` payloads.
+    """
 
     def __init__(
         self,
@@ -60,16 +62,15 @@ class MPCCluster:
             Machine(machine_id=i, local_indices=idx) for i, idx in enumerate(local_indices)
         ]
         self.cost_model = cost_model or BitCostModel()
-        self.ledger = RoundLedger()
-        self._round_open = False
-        self._sent = np.zeros(len(self.machines), dtype=np.int64)
-        self._received = np.zeros(len(self.machines), dtype=np.int64)
-        self.max_load_bits = 0
-        self.total_bits = 0
+        self.topology = GridTopology(len(self.machines), cost_model=self.cost_model)
 
     # ------------------------------------------------------------------ #
     # Round management
     # ------------------------------------------------------------------ #
+
+    @property
+    def ledger(self):
+        return self.topology.ledger
 
     @property
     def num_machines(self) -> int:
@@ -77,25 +78,21 @@ class MPCCluster:
 
     @property
     def rounds(self) -> int:
-        return self.ledger.num_rounds
+        return self.topology.rounds
+
+    @property
+    def total_bits(self) -> int:
+        return self.topology.total_bits
+
+    @property
+    def max_load_bits(self) -> int:
+        return self.topology.max_load_bits
 
     def begin_round(self) -> None:
-        if self._round_open:
-            raise CommunicationError("previous round is still open")
-        self._round_open = True
-        self._sent[:] = 0
-        self._received[:] = 0
+        self.topology.begin_round()
 
     def end_round(self) -> None:
-        if not self._round_open:
-            raise CommunicationError("no round is open")
-        round_load = int(max(self._sent.max(initial=0), self._received.max(initial=0)))
-        self.max_load_bits = max(self.max_load_bits, round_load)
-        self.ledger.record(
-            load=round_load,
-            bits=int(self._sent.sum()),
-        )
-        self._round_open = False
+        self.topology.end_round()
 
     # ------------------------------------------------------------------ #
     # Messaging
@@ -103,16 +100,9 @@ class MPCCluster:
 
     def send(self, source: int, destination: int, bits: int) -> None:
         """Record ``bits`` sent from ``source`` to ``destination`` this round."""
-        if not self._round_open:
-            raise CommunicationError("messages may only be sent inside an open round")
-        for machine_id in (source, destination):
-            if not 0 <= machine_id < self.num_machines:
-                raise CommunicationError(f"machine {machine_id} does not exist")
         if bits < 0:
             raise ValueError("bits must be non-negative")
-        self._sent[source] += bits
-        self._received[destination] += bits
-        self.total_bits += bits
+        self.topology.send(source, destination, RawBits(payload=None, bits=bits))
 
     # ------------------------------------------------------------------ #
     # Collective primitives
@@ -126,27 +116,9 @@ class MPCCluster:
         simulated; the caller is responsible for making the payload available
         to the machines (the simulator shares memory).
         """
-        if fanout < 2:
-            raise ValueError("fanout must be >= 2")
-        informed = {root}
-        rounds_used = 0
-        while len(informed) < self.num_machines:
-            self.begin_round()
-            newly_informed: set[int] = set()
-            targets = [m for m in range(self.num_machines) if m not in informed]
-            slots = iter(targets)
-            for sender in sorted(informed):
-                for _ in range(fanout):
-                    try:
-                        target = next(slots)
-                    except StopIteration:
-                        break
-                    self.send(sender, target, message_bits)
-                    newly_informed.add(target)
-            informed |= newly_informed
-            self.end_round()
-            rounds_used += 1
-        return rounds_used
+        return self.topology.broadcast_tree(
+            root, RawBits(payload=None, bits=message_bits), fanout
+        )
 
     def aggregate_tree(
         self,
@@ -156,42 +128,17 @@ class MPCCluster:
         values: Sequence[Any] | None = None,
         combine: Callable[[Any, Any], Any] | None = None,
     ) -> tuple[int, Any]:
-        """Aggregate one value per machine into ``root`` via a converge-cast tree.
+        """Aggregate one fixed-size value per machine into ``root`` via a tree.
 
         ``values`` and ``combine`` optionally compute the actual aggregate
         (e.g. summing per-machine weight totals); only the cost accounting
         depends on ``value_bits`` and ``fanout``.  Returns
         ``(rounds_used, aggregate)``.
         """
-        if fanout < 2:
-            raise ValueError("fanout must be >= 2")
-        active = list(range(self.num_machines))
-        partials = list(values) if values is not None else [None] * self.num_machines
-        rounds_used = 0
-        while len(active) > 1:
-            self.begin_round()
-            survivors: list[int] = []
-            # Group the active machines; the first member of each group
-            # receives the other members' partial aggregates.
-            for start in range(0, len(active), fanout):
-                group = active[start : start + fanout]
-                head = group[0] if root not in group else root
-                for member in group:
-                    if member == head:
-                        continue
-                    self.send(member, head, value_bits)
-                    if combine is not None:
-                        partials[head] = combine(partials[head], partials[member])
-                survivors.append(head)
-            active = survivors
-            self.end_round()
-            rounds_used += 1
-        final_holder = active[0]
-        if final_holder != root and self.num_machines > 1:
-            self.begin_round()
-            self.send(final_holder, root, value_bits)
-            if values is not None:
-                partials[root] = partials[final_holder]
-            self.end_round()
-            rounds_used += 1
-        return rounds_used, partials[root] if values is not None else None
+        return self.topology.aggregate_tree(
+            root,
+            RawBits(payload=None, bits=value_bits),
+            fanout,
+            values=values,
+            combine=combine,
+        )

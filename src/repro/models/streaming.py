@@ -1,11 +1,14 @@
-"""The multi-pass streaming substrate.
+"""The multi-pass streaming substrate: a fabric binding.
 
 A :class:`MultiPassStream` presents the constraint indices of a problem in a
 fixed (arbitrary, possibly adversarial) order.  Every call to :meth:`scan`
-is one pass; the algorithm may make as many passes as it likes and the
-substrate counts them.  Memory is accounted separately through a
-:class:`StreamingMemory` tracker: the algorithm reports what it currently
-stores (in items and in bits) and the tracker keeps the peak.
+is one pass; the algorithm may make as many passes as it likes.  Pass
+accounting (and the per-pass ledger surfaced through
+``SolveResult.communication``) lives in
+:class:`repro.fabric.topology.StreamTopology`; memory is accounted
+separately through a :class:`StreamingMemory` tracker: the algorithm reports
+what it currently stores (in items and in bits) and the tracker keeps the
+peak.
 
 The substrate never hands out the whole constraint set at once — drivers are
 expected to touch constraints only through the indices yielded by a scan, so
@@ -20,12 +23,13 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..core.accounting import CostMeter
+from ..fabric.topology import StreamTopology
 
 __all__ = ["MultiPassStream", "StreamingMemory"]
 
 
 class MultiPassStream:
-    """A re-scannable stream of constraint indices.
+    """A re-scannable stream of constraint indices over a stream topology.
 
     Parameters
     ----------
@@ -37,36 +41,21 @@ class MultiPassStream:
     """
 
     def __init__(self, num_items: int, order: Sequence[int] | np.ndarray | None = None) -> None:
-        if num_items < 0:
-            raise ValueError("num_items must be non-negative")
-        if order is None:
-            self._order = np.arange(num_items, dtype=int)
-        else:
-            self._order = np.asarray(order, dtype=int)
-            if self._order.size != num_items:
-                raise ValueError(
-                    f"order has {self._order.size} entries, expected {num_items}"
-                )
-            if num_items and (
-                self._order.min() < 0
-                or self._order.max() >= num_items
-                or np.unique(self._order).size != num_items
-            ):
-                raise ValueError("order must be a permutation of range(num_items)")
-        self._passes = 0
+        self.topology = StreamTopology(num_items, order=order)
+        self._order = self.topology.order()
 
     @property
     def num_items(self) -> int:
-        return int(self._order.size)
+        return self.topology.num_items
 
     @property
     def passes(self) -> int:
         """Number of completed or started passes so far."""
-        return self._passes
+        return self.topology.passes
 
     def scan(self) -> Iterator[int]:
         """Yield the constraint indices in stream order; counts as one pass."""
-        self._passes += 1
+        self.topology.record_pass()
         yield from (int(i) for i in self._order)
 
     def scan_chunks(self, chunk_size: int) -> Iterator[np.ndarray]:
@@ -79,11 +68,8 @@ class MultiPassStream:
         """
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        self._passes += 1
-        for start in range(0, self._order.size, chunk_size):
-            chunk = self._order[start : start + chunk_size]
-            chunk.flags.writeable = False  # enforce the read-only contract
-            yield chunk
+        self.topology.record_pass()
+        yield from StreamTopology.iter_chunks(self._order, chunk_size)
 
     def order(self) -> np.ndarray:
         """The arrival order (a copy)."""

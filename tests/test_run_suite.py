@@ -109,3 +109,73 @@ def test_noise_floor_exempts_tiny_scenarios(run_suite, tmp_path):
     # ... but blowing past the floor-adjusted budget still fails.
     report = {"scenarios": [{"id": "a", "wall_time_s": 0.200}]}
     assert run_suite.compare_to_baseline(report, str(baseline_path), 2.0) == 1
+
+
+def test_scenario_emits_communication_columns(run_suite, tmp_path):
+    out = tmp_path / "BENCH.json"
+    code = run_suite.main(
+        [
+            "--tier", "small", "--repeats", "1",
+            "--problems", "lp", "--models", "coordinator",
+            "-o", str(out),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    (scenario,) = report["scenarios"]
+    assert scenario["rounds"] >= 1
+    assert scenario["total_comm_bits"] > 0
+    assert scenario["max_message_bits"] > 0
+    assert scenario["max_load_bits"] > 0
+    assert report["total_comm_bits"] == scenario["total_comm_bits"]
+
+
+def test_communication_gate_bits_and_rounds(run_suite, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps(
+            {
+                "scenarios": [
+                    {
+                        "id": "a",
+                        "wall_time_s": 0.10,
+                        "rounds": 6,
+                        "total_comm_bits": 1000,
+                    }
+                ]
+            }
+        )
+    )
+    ok = {
+        "scenarios": [
+            {"id": "a", "wall_time_s": 0.10, "rounds": 7, "total_comm_bits": 1900}
+        ]
+    }
+    assert run_suite.compare_to_baseline(ok, str(baseline_path), 2.0) == 0
+    # > 2x the baseline's measured bits fails even at identical wall time.
+    too_many_bits = {
+        "scenarios": [
+            {"id": "a", "wall_time_s": 0.10, "rounds": 6, "total_comm_bits": 2100}
+        ]
+    }
+    assert run_suite.compare_to_baseline(too_many_bits, str(baseline_path), 2.0) == 1
+    # More than one extra round fails too.
+    too_many_rounds = {
+        "scenarios": [
+            {"id": "a", "wall_time_s": 0.10, "rounds": 8, "total_comm_bits": 1000}
+        ]
+    }
+    assert run_suite.compare_to_baseline(too_many_rounds, str(baseline_path), 2.0) == 1
+
+
+def test_communication_gate_skips_schema_v1_baselines(run_suite, tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        json.dumps({"scenarios": [{"id": "a", "wall_time_s": 0.10}]})
+    )
+    report = {
+        "scenarios": [
+            {"id": "a", "wall_time_s": 0.10, "rounds": 99, "total_comm_bits": 10**9}
+        ]
+    }
+    assert run_suite.compare_to_baseline(report, str(baseline_path), 2.0) == 0
