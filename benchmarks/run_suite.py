@@ -41,7 +41,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro import SolverConfig, solve
+from repro import SolverConfig, TransportConfig, solve
+from repro import session as open_session
 from repro.core.lptype import LPTypeProblem
 from repro.problems.meb import MinimumEnclosingBall
 from repro.problems.qp import ConvexQuadraticProgram
@@ -189,6 +190,65 @@ class Scenario:
             "max_message_bits": int(communication.max_message_bits),
             "max_load_bits": int(communication.max_load_bits),
         }
+
+
+#: Session-amortisation scenario: instances per batch and their size.
+SESSION_BATCH = 16
+SESSION_N = 2_000
+#: How many one-shot (k=1) sessions are timed for the per-solve baseline.
+SESSION_ONE_SHOT_REPEATS = 3
+
+
+def session_amortization(
+    batch: int = SESSION_BATCH, n: int = SESSION_N
+) -> dict:
+    """Per-solve latency: one-shot sessions (k=1) vs one session reused k times.
+
+    Both sides run the streaming model on a dedicated one-worker
+    ``ProcessPoolTransport`` (``reuse_pool=False``, so nothing is shared
+    between one-shot calls — the pre-session behaviour).  The k=1 side pays
+    worker spin-up on every solve; the k=``batch`` side pays it once at
+    session creation, which is the amortisation the session API exists for.
+    Emitted as the ``session_amortization`` block of ``BENCH.json``.
+    """
+    problems = [
+        random_polytope_lp(n, DIMENSION, seed=900 + i).problem for i in range(batch)
+    ]
+    transport = TransportConfig(kind="process", reuse_pool=False, max_workers=1)
+    config = SolverConfig.practical(problems[0], r=2, keep_trace=False, seed=0)
+
+    def _solve_in(sess, problem):
+        return sess.solve(problem, keep_trace=False)
+
+    one_shot_times: list[float] = []
+    for i in range(min(SESSION_ONE_SHOT_REPEATS, batch)):
+        start = time.perf_counter()
+        with open_session(
+            model="streaming", config=config, transport=transport
+        ) as sess:
+            _solve_in(sess, problems[i])
+        one_shot_times.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    with open_session(model="streaming", config=config, transport=transport) as sess:
+        for problem in problems:
+            _solve_in(sess, problem)
+    batch_wall = time.perf_counter() - start
+
+    per_solve_k1 = statistics.median(one_shot_times)
+    per_solve_k = batch_wall / batch
+    return {
+        "model": "streaming",
+        "transport": "process (reuse_pool=False, max_workers=1)",
+        "n": n,
+        "batch": batch,
+        "per_solve_s_k1": round(per_solve_k1, 6),
+        "per_solve_s_k16": round(per_solve_k, 6),
+        "batch_wall_s": round(batch_wall, 6),
+        "amortization_speedup": round(per_solve_k1 / per_solve_k, 3)
+        if per_solve_k > 0
+        else None,
+    }
 
 
 def build_grid(tier: str, models: list[str], problems: list[str]) -> list[Scenario]:
@@ -347,6 +407,15 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="maximum allowed extra rounds/passes vs the baseline",
     )
+    parser.add_argument(
+        "--session-bench",
+        action="store_true",
+        help=(
+            "also measure session amortisation (per-solve latency at k=1 vs "
+            "k=16 solves through one session on a ProcessPoolTransport) and "
+            "emit it as the session_amortization block"
+        ),
+    )
     args = parser.parse_args(argv)
 
     grid = build_grid(args.tier, args.models, args.problems)
@@ -374,6 +443,14 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "total_comm_bits": sum(s["total_comm_bits"] for s in scenarios),
     }
+    if args.session_bench:
+        report["session_amortization"] = session_amortization()
+        amort = report["session_amortization"]
+        print(
+            f"session amortization: {amort['per_solve_s_k1']:.4f}s/solve at k=1 "
+            f"vs {amort['per_solve_s_k16']:.4f}s/solve at k={amort['batch']} "
+            f"({amort['amortization_speedup']}x)"
+        )
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

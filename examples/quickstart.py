@@ -1,25 +1,30 @@
-"""Quickstart: one front door — ``repro.solve()`` — in every computation model.
+"""Quickstart: sessions, warm re-solves, the service, and the one-shot facade.
 
 Run with::
 
     python examples/quickstart.py
 
-The script builds a random 3-dimensional linear program with 20,000
-constraints and solves it through the ``solve()`` facade: exactly in memory,
-then with the paper's meta-algorithm in the multi-pass streaming,
-coordinator, and MPC models — one call each, parameterized by a registered
-model name and a typed config.  It finishes with a small batch run through
-``solve_many()``.
+The script opens a stateful **session** (``repro.session``), solves a random
+3-dimensional linear program with 20,000 constraints, then *edits* the
+instance — streaming in extra constraints through an ingestion handle and
+warm-restarting from the previous weight state — before touring the async
+``SolverService`` front end and the classic one-shot ``solve()`` /
+``solve_many()`` facade.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import (
     CoordinatorConfig,
     MPCConfig,
+    ResourceBudget,
+    SolverService,
     StreamingConfig,
     available_models,
     random_feasible_lp,
+    session,
     solve,
     solve_many,
 )
@@ -30,20 +35,73 @@ def main() -> None:
     problem = instance.problem
     print(f"registered models        : {', '.join(available_models())}")
 
-    exact = solve(problem, model="exact")
-    print(f"exact optimum            : {exact.value.objective:.6f}")
-
-    streaming = solve(
-        problem,
+    # ------------------------------------------------------------------ #
+    # The session API: one long-lived solver, many related solves.
+    # ------------------------------------------------------------------ #
+    with session(
         model="streaming",
         config=StreamingConfig.practical(problem, r=2, seed=0),
-    )
-    print(
-        f"streaming  (r=2)         : {streaming.value.objective:.6f}  "
-        f"passes={streaming.resources.passes}  "
-        f"peak space={streaming.resources.space_peak_items} constraints "
-        f"({streaming.resources.space_peak_items / problem.num_constraints:.1%} of input)"
-    )
+    ) as sess:
+        first = sess.solve(problem)
+        print(
+            f"session cold solve       : {first.value.objective:.6f}  "
+            f"passes={first.resources.passes}  "
+            f"stored bases={first.warm.new_bases}"
+        )
+
+        # Stream new constraints in over time; finalize() warm-restarts from
+        # the prior Clarkson weight state instead of solving from scratch.
+        witness = np.asarray(first.witness, dtype=float)
+        tilt = problem.c + 0.3 * np.roll(problem.c, 1)
+        handle = sess.ingest()
+        handle.feed((-tilt.reshape(1, -1), np.array([-(tilt @ witness) - 0.05])))
+        handle.feed((np.eye(3)[:1], np.array([float(witness[0]) + 10.0])))
+        warm = handle.finalize()
+        print(
+            f"warm re-solve (ingested) : {warm.value.objective:.6f}  "
+            f"reused bases={warm.warm.reused_bases}  "
+            f"fast path={warm.warm.fast_path}  iterations={warm.iterations}"
+        )
+
+        # Pure additions that do not cut the optimum re-certify in one sweep.
+        satisfied = (np.eye(3)[1:2], np.array([float(witness[1]) + 10.0]))
+        fast = sess.resolve_with(added=satisfied)
+        print(
+            f"warm re-solve (fast path): {fast.value.objective:.6f}  "
+            f"fast path={fast.warm.fast_path}  iterations={fast.iterations}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # The async service: tickets, deadlines, budgets.
+    # ------------------------------------------------------------------ #
+    scenarios = [
+        random_feasible_lp(num_constraints=5_000, dimension=3, seed=s).problem
+        for s in (1, 2, 3)
+    ]
+    with SolverService(
+        model="streaming",
+        config=StreamingConfig.practical(scenarios[0], r=2, seed=0),
+        max_workers=2,
+    ) as svc:
+        tickets = svc.submit_many(scenarios, deadline_s=60.0)
+        results = [t.result() for t in tickets]
+        print(
+            f"service ({len(tickets)} tickets)      : "
+            f"optima={[round(r.value.objective, 4) for r in results]}  "
+            f"stats={svc.stats()}"
+        )
+        budgeted = svc.submit(scenarios[0], budget=ResourceBudget(iterations=1))
+        try:
+            budgeted.result()
+            print("budgeted ticket          : finished within budget")
+        except Exception as error:  # BudgetExceededError carries partial usage
+            print(f"budgeted ticket          : {type(error).__name__} ({error})")
+
+    # ------------------------------------------------------------------ #
+    # The one-shot facade (an ephemeral session under the hood).
+    # ------------------------------------------------------------------ #
+    exact = solve(problem, model="exact")
+    print(f"exact optimum            : {exact.value.objective:.6f}")
 
     coordinator = solve(
         problem,
@@ -67,10 +125,6 @@ def main() -> None:
         f"max load={mpc.resources.max_machine_load_bits / 8 / 1024:.1f} KiB per machine"
     )
 
-    scenarios = [
-        random_feasible_lp(num_constraints=5_000, dimension=3, seed=s).problem
-        for s in (1, 2, 3)
-    ]
     batch = solve_many(
         scenarios,
         model="streaming",

@@ -48,12 +48,18 @@ from .algorithms import (
 from .api import (
     BatchResult,
     CoordinatorConfig,
+    IngestHandle,
     MPCConfig,
     ModelSpec,
     ProblemSpec,
+    Session,
+    SessionSpec,
     SolverConfig,
+    SolverService,
     StreamingConfig,
+    Ticket,
     TransportConfig,
+    WarmState,
     available_models,
     available_problems,
     compare_models,
@@ -64,6 +70,7 @@ from .api import (
     solve,
     solve_many,
 )
+from .api.session import session
 from .core import (
     BasisResult,
     ClarksonParameters,
@@ -72,6 +79,13 @@ from .core import (
     SolveResult,
     clarkson_solve,
 )
+from .core.budget import ResourceBudget
+from .core.exceptions import (
+    BudgetExceededError,
+    ConfigFieldDroppedWarning,
+    SessionError,
+)
+from .core.result import WarmStats
 from .lower_bounds import (
     AugIndexInstance,
     TCIInstance,
@@ -102,13 +116,25 @@ __version__ = "1.1.0"
 
 __all__ = [
     "BatchResult",
+    "BudgetExceededError",
+    "ConfigFieldDroppedWarning",
     "CoordinatorConfig",
+    "IngestHandle",
     "MPCConfig",
     "ModelSpec",
     "ProblemSpec",
+    "ResourceBudget",
+    "Session",
+    "SessionError",
+    "SessionSpec",
     "SolverConfig",
+    "SolverService",
     "StreamingConfig",
+    "Ticket",
     "TransportConfig",
+    "WarmState",
+    "WarmStats",
+    "session",
     "available_models",
     "available_problems",
     "compare_models",

@@ -1,0 +1,10 @@
+"""``python -m repro`` entry point; see :mod:`repro.api.cli`."""
+
+from __future__ import annotations
+
+import sys
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.accounting import BitCostModel
-from ..core.clarkson import ClarksonParameters, resolve_sampling, solve_small_problem
+from ..core.clarkson import (
+    ClarksonParameters,
+    _warm_stats,
+    resolve_sampling,
+    solve_small_problem,
+)
 from ..core.engine import (
     ClarksonEngine,
     EngineConfig,
@@ -157,7 +162,10 @@ class _CoordinatorState:
         self.pending_boost = False
 
     def install_sites(
-        self, partition: Sequence[np.ndarray], boost: float
+        self,
+        partition: Sequence[np.ndarray],
+        boost: float,
+        warm_exponents: np.ndarray | None = None,
     ) -> None:
         site_rngs = spawn(self.gen, self.num_sites)
         # Ship the (large, read-only) problem once per transport worker; the
@@ -166,12 +174,22 @@ class _CoordinatorState:
         for site_id, local in enumerate(partition):
             local = np.asarray(local, dtype=int)
             self.site_sizes.append(int(local.size))
+            if warm_exponents is not None and local.size:
+                # Warm re-solve (session API): each site resumes the weight
+                # state its constraints carried at the end of the prior run
+                # (boost ** #violated-prior-bases, Section 3.2 applied to
+                # the explicit per-site vectors).
+                weights = ExplicitWeights.from_exponents(
+                    warm_exponents[local], boost
+                )
+            else:
+                weights = ExplicitWeights.uniform(max(1, local.size), boost)
             self.topology.init_state(
                 site_id,
                 {
                     "problem": SharedRef("problem"),
                     "local_indices": local,
-                    "weights": ExplicitWeights.uniform(max(1, local.size), boost),
+                    "weights": weights,
                     "rng": site_rngs[site_id],
                     "pending": None,
                 },
@@ -290,11 +308,16 @@ def _coordinator_clarkson_solve(
     topology: str = "star",
     fanout: int = 2,
     transport: Optional[TransportConfig] = None,
+    warm_witnesses: list | None = None,
 ) -> SolveResult:
     """Coordinator driver body; see :func:`coordinator_clarkson_solve`.
 
     Internal entry point used by ``repro.solve(problem, model="coordinator")``;
     identical to the public shim minus the deprecation warning.
+    ``warm_witnesses`` (session API) seeds the per-site weight vectors from a
+    prior run's successful-iteration bases; the prior run already broadcast
+    those bases to every site, so re-deriving the local weights costs no
+    additional communication.
     """
     base_params = params or ClarksonParameters()
     params = replace(base_params, r=r)
@@ -315,8 +338,16 @@ def _coordinator_clarkson_solve(
         oracle=ViolationOracle(problem),
         gen=gen,
     )
+    warm_exponents = None
+    if warm_witnesses:
+        # One vectorised sweep recovers the carried weight state; in a real
+        # deployment each site would evaluate its own slice against the
+        # bases it already holds from the prior run's broadcasts.
+        warm_exponents = state.oracle.count_matrix(
+            warm_witnesses, problem.all_indices()
+        )
     try:
-        state.install_sites(partition, boost)
+        state.install_sites(partition, boost, warm_exponents=warm_exponents)
 
         if sample_size >= n:
             # Cheaper to ship everything to the coordinator in one exchange.
@@ -341,6 +372,7 @@ def _coordinator_clarkson_solve(
                     "transport": net.transport.name,
                 }
             )
+            result.warm = _warm_stats(warm_witnesses, [])
             return result
 
         engine = ClarksonEngine(
@@ -389,6 +421,7 @@ def _coordinator_clarkson_solve(
             "topology": topology,
             "transport": net.transport.name,
         },
+        warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )
 
 
@@ -445,8 +478,29 @@ def coordinator_clarkson_solve(
     )
 
 
-@register_model(
+def _run_coordinator(
+    problem: LPTypeProblem, config: CoordinatorConfig, warm_witnesses=None
+) -> SolveResult:
+    """Runner and warm-runner in one (the session passes ``warm_witnesses``),
+    so the cold and warm paths can never drift in config handling."""
+    return _coordinator_clarkson_solve(
+        problem,
+        num_sites=config.num_sites,
+        r=config.r,
+        partition=config.partition,
+        params=config.to_parameters(),
+        cost_model=config.cost_model,
+        rng=config.seed,
+        topology=config.topology,
+        fanout=config.fanout,
+        transport=config.transport,
+        warm_witnesses=warm_witnesses,
+    )
+
+
+register_model(
     "coordinator",
+    _run_coordinator,
     config_cls=CoordinatorConfig,
     description=(
         "Coordinator-model Clarkson (Theorem 2): per-site explicit weights, "
@@ -462,17 +516,6 @@ def coordinator_clarkson_solve(
     ),
     replaces="coordinator_clarkson_solve",
     transports=("inprocess", "process"),
+    warm_runner=_run_coordinator,
+    capabilities=("warm_restart", "ingest"),
 )
-def _run_coordinator(problem: LPTypeProblem, config: CoordinatorConfig) -> SolveResult:
-    return _coordinator_clarkson_solve(
-        problem,
-        num_sites=config.num_sites,
-        r=config.r,
-        partition=config.partition,
-        params=config.to_parameters(),
-        cost_model=config.cost_model,
-        rng=config.seed,
-        topology=config.topology,
-        fanout=config.fanout,
-        transport=config.transport,
-    )

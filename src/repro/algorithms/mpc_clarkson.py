@@ -44,7 +44,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.accounting import BitCostModel
-from ..core.clarkson import ClarksonParameters, resolve_sampling, solve_small_problem
+from ..core.clarkson import (
+    ClarksonParameters,
+    _warm_stats,
+    resolve_sampling,
+    solve_small_problem,
+)
 from ..core.engine import (
     ClarksonEngine,
     EngineConfig,
@@ -168,6 +173,7 @@ class _MPCState:
         boost: float,
         fanout: int,
         gen: np.random.Generator,
+        warm_witnesses: Sequence | None = None,
     ) -> None:
         self.problem = problem
         self.topology = topology
@@ -177,7 +183,11 @@ class _MPCState:
         self.gen = gen
         self.machine_sizes: list[int] = []
         self.total_weight = 0.0
-        self.num_bases = 0
+        # Warm re-solves (session API) seed every machine's stored bases
+        # with the prior run's successful-iteration witnesses; the prior run
+        # broadcast them machine-wide already, so the carry costs no rounds.
+        self.warm_witnesses = list(warm_witnesses) if warm_witnesses else []
+        self.num_bases = len(self.warm_witnesses)
         self._counted_version = -1
 
     def install_machines(self, partition: Sequence[np.ndarray]) -> None:
@@ -193,7 +203,7 @@ class _MPCState:
                     "problem": SharedRef("problem"),
                     "local_indices": local,
                     "rng": machine_rngs[machine_id],
-                    "witnesses": [],
+                    "witnesses": list(self.warm_witnesses),
                     "boost": self.boost,
                     "weights_version": -1,
                 },
@@ -319,11 +329,14 @@ def _mpc_clarkson_solve(
     cost_model: BitCostModel | None = None,
     rng: SeedLike = None,
     transport: Optional[TransportConfig] = None,
+    warm_witnesses: list | None = None,
 ) -> SolveResult:
     """MPC driver body; see :func:`mpc_clarkson_solve`.
 
     Internal entry point used by ``repro.solve(problem, model="mpc")``;
     identical to the public shim minus the deprecation warning.
+    ``warm_witnesses`` (session API) seeds every machine's implicit
+    stored-bases weights with a prior run's successful-iteration witnesses.
     """
     if not 0.0 < delta < 1.0:
         raise ValueError(f"delta must lie in (0, 1), got {delta}")
@@ -352,6 +365,7 @@ def _mpc_clarkson_solve(
         boost=boost,
         fanout=fanout,
         gen=gen,
+        warm_witnesses=warm_witnesses,
     )
     try:
         state.install_machines(partition)
@@ -385,6 +399,7 @@ def _mpc_clarkson_solve(
                     "transport": topology.transport.name,
                 }
             )
+            result.warm = _warm_stats(warm_witnesses, [])
             return result
 
         engine = ClarksonEngine(
@@ -434,6 +449,7 @@ def _mpc_clarkson_solve(
             "fanout": fanout,
             "transport": topology.transport.name,
         },
+        warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )
 
 
@@ -489,8 +505,27 @@ def mpc_clarkson_solve(
     )
 
 
-@register_model(
+def _run_mpc(
+    problem: LPTypeProblem, config: MPCConfig, warm_witnesses=None
+) -> SolveResult:
+    """Runner and warm-runner in one (the session passes ``warm_witnesses``),
+    so the cold and warm paths can never drift in config handling."""
+    return _mpc_clarkson_solve(
+        problem,
+        delta=config.delta,
+        num_machines=config.num_machines,
+        partition=config.partition,
+        params=config.to_parameters(),
+        cost_model=config.cost_model,
+        rng=config.seed,
+        transport=config.transport,
+        warm_witnesses=warm_witnesses,
+    )
+
+
+register_model(
     "mpc",
+    _run_mpc,
     config_cls=MPCConfig,
     description=(
         "MPC Clarkson (Theorem 3): implicit weights with tree "
@@ -505,15 +540,6 @@ def mpc_clarkson_solve(
     ),
     replaces="mpc_clarkson_solve",
     transports=("inprocess", "process"),
+    warm_runner=_run_mpc,
+    capabilities=("warm_restart", "ingest"),
 )
-def _run_mpc(problem: LPTypeProblem, config: MPCConfig) -> SolveResult:
-    return _mpc_clarkson_solve(
-        problem,
-        delta=config.delta,
-        num_machines=config.num_machines,
-        partition=config.partition,
-        params=config.to_parameters(),
-        cost_model=config.cost_model,
-        rng=config.seed,
-        transport=config.transport,
-    )

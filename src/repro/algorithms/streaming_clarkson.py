@@ -49,7 +49,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.clarkson import ClarksonParameters, resolve_sampling, solve_small_problem
+from ..core.clarkson import (
+    ClarksonParameters,
+    _warm_stats,
+    resolve_sampling,
+    solve_small_problem,
+)
 from ..core.engine import (
     ClarksonEngine,
     EngineConfig,
@@ -149,6 +154,7 @@ class _StreamingState:
         oracle: ViolationOracle,
         boost: float,
         rng: np.random.Generator,
+        warm_witnesses: Sequence | None = None,
     ) -> None:
         self.problem = problem
         self.topology = topology
@@ -156,7 +162,12 @@ class _StreamingState:
         self.oracle = oracle
         self.nu = problem.combinatorial_dimension
         self.bit_size = problem.bit_size()
-        self.num_bases = 0
+        # Warm re-solves (session API) seed the reader's stored bases with a
+        # prior run's successful-iteration witnesses: the implicit weights
+        # resume exactly where the prior run left them, and the carried
+        # bases count toward the modelled footprint like freshly stored ones.
+        warm = list(warm_witnesses) if warm_witnesses else []
+        self.num_bases = len(warm)
         self.chunks_per_pass = max(
             1, -(-topology.num_items // _CHUNK_ITEMS)
         )
@@ -167,7 +178,7 @@ class _StreamingState:
                 "problem": SharedRef("problem"),
                 "order": topology.order(),
                 "rng": rng,
-                "witnesses": [],
+                "witnesses": warm,
                 "boost": boost,
             },
         )
@@ -231,11 +242,14 @@ def _streaming_clarkson_solve(
     params: ClarksonParameters | None = None,
     rng: SeedLike = None,
     transport: Optional[TransportConfig] = None,
+    warm_witnesses: list | None = None,
 ) -> SolveResult:
     """Streaming driver body; see :func:`streaming_clarkson_solve`.
 
     Internal entry point used by ``repro.solve(problem, model="streaming")``;
     identical to the public shim minus the deprecation warning.
+    ``warm_witnesses`` (session API) seeds the implicit stored-bases weights
+    with a prior run's successful-iteration witnesses.
     """
     base_params = params or ClarksonParameters()
     params = replace(base_params, r=r)
@@ -255,6 +269,7 @@ def _streaming_clarkson_solve(
         result.resources.space_peak_bits = n * bit_size
         result.resources.per_round = topology.ledger.as_table()
         result.metadata.update({"algorithm": "streaming_clarkson", "r": params.r})
+        result.warm = _warm_stats(warm_witnesses, [])
         return result
 
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
@@ -270,6 +285,7 @@ def _streaming_clarkson_solve(
             oracle=ViolationOracle(problem),
             boost=boost,
             rng=gen,
+            warm_witnesses=warm_witnesses,
         )
         engine = ClarksonEngine(
             problem=problem,
@@ -314,6 +330,7 @@ def _streaming_clarkson_solve(
             "stored_bases": state.num_bases,
             "transport": topology.transport.name,
         },
+        warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )
 
 
@@ -356,8 +373,25 @@ def streaming_clarkson_solve(
     return _streaming_clarkson_solve(problem, r=r, order=order, params=params, rng=rng)
 
 
-@register_model(
+def _run_streaming(
+    problem: LPTypeProblem, config: StreamingConfig, warm_witnesses=None
+) -> SolveResult:
+    """Runner and warm-runner in one (the session passes ``warm_witnesses``),
+    so the cold and warm paths can never drift in config handling."""
+    return _streaming_clarkson_solve(
+        problem,
+        r=config.r,
+        order=config.order,
+        params=config.to_parameters(),
+        rng=config.seed,
+        transport=config.transport,
+        warm_witnesses=warm_witnesses,
+    )
+
+
+register_model(
     "streaming",
+    _run_streaming,
     config_cls=StreamingConfig,
     description=(
         "Multi-pass streaming Clarkson (Theorem 1): implicit stored-bases "
@@ -366,13 +400,6 @@ def streaming_clarkson_solve(
     currencies=("passes", "space_peak_items", "space_peak_bits"),
     replaces="streaming_clarkson_solve",
     transports=("inprocess", "process"),
+    warm_runner=_run_streaming,
+    capabilities=("warm_restart", "ingest"),
 )
-def _run_streaming(problem: LPTypeProblem, config: StreamingConfig) -> SolveResult:
-    return _streaming_clarkson_solve(
-        problem,
-        r=config.r,
-        order=config.order,
-        params=config.to_parameters(),
-        rng=config.seed,
-        transport=config.transport,
-    )

@@ -8,10 +8,14 @@ Layers (each documented in its module):
 * :mod:`repro.api.config` — frozen, validated solver configurations
   (:class:`SolverConfig` and the per-model subclasses);
 * :mod:`repro.api.facade` — :func:`solve` and :func:`compare_models`;
-* :mod:`repro.api.batch` — :func:`solve_many` and :class:`BatchResult`.
+* :mod:`repro.api.batch` — :func:`solve_many` and :class:`BatchResult`;
+* :mod:`repro.api.session` — the stateful :class:`Session` (warm-started
+  re-solves, streaming ingestion, long-lived transports);
+* :mod:`repro.api.service` — the async :class:`SolverService` front end
+  (tickets, deadlines, resource budgets).
 
 Everything here is re-exported from the top-level ``repro`` package; see
-``docs/api.md`` for the guide.
+``docs/api.md`` and ``docs/sessions.md`` for the guides.
 """
 
 from .batch import BatchResult, solve_many
@@ -26,6 +30,7 @@ from .facade import DEFAULT_COMPARISON_MODELS, compare_models, solve
 from .registry import (
     ModelSpec,
     ProblemSpec,
+    SessionSpec,
     available_models,
     available_problems,
     describe_model,
@@ -37,6 +42,8 @@ from .registry import (
     unregister_model,
     unregister_problem,
 )
+from .service import SolverService, Ticket
+from .session import IngestHandle, Session, WarmState
 
 from . import builtin  # noqa: F401  (import side-effect: registers "sequential")
 
@@ -53,6 +60,7 @@ __all__ = [
     "solve",
     "ModelSpec",
     "ProblemSpec",
+    "SessionSpec",
     "available_models",
     "available_problems",
     "describe_model",
@@ -63,4 +71,9 @@ __all__ = [
     "register_problem",
     "unregister_model",
     "unregister_problem",
+    "SolverService",
+    "Ticket",
+    "IngestHandle",
+    "Session",
+    "WarmState",
 ]

@@ -22,7 +22,6 @@ from ..core.exceptions import InvalidConfigError
 from ..core.result import ResourceUsage, SolveResult
 from .config import SolverConfig
 from .facade import build_config
-from .registry import get_model
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.lptype import LPTypeProblem
@@ -107,6 +106,7 @@ def solve_many(
     config: Optional[SolverConfig] = None,
     max_workers: Optional[int] = None,
     root_seed: Optional[int] = None,
+    session: Optional[Any] = None,
     **overrides: Any,
 ) -> BatchResult:
     """Solve many independent instances in the named model.
@@ -131,6 +131,11 @@ def solve_many(
         back to the config's integer ``seed`` if one was given (so
         ``solve_many(..., seed=42)`` is reproducible), else fresh entropy.
         An explicit ``root_seed`` wins over the config seed.
+    session:
+        Optional open :class:`~repro.api.session.Session` whose transport
+        (and model) the batch reuses — ``Session.solve_many`` passes it.
+        ``None`` runs the batch on an ephemeral session, which is
+        bit-identical to the historical one-shot behaviour.
     **overrides:
         Individual config fields, as in :func:`repro.solve`.
 
@@ -139,19 +144,34 @@ def solve_many(
     BatchResult
         Per-instance results plus batch resource totals/peaks.
     """
+    from .session import Session
+
     problems = list(problems)
     if max_workers is not None and max_workers < 1:
         raise InvalidConfigError(f"max_workers must be >= 1 (got {max_workers!r})")
-    spec = get_model(model)
-    base = build_config(spec, config, overrides)
-    if root_seed is None and isinstance(base.seed, int):
-        root_seed = base.seed
-    seeds = derive_instance_seeds(root_seed, len(problems))
-    configs = [replace(base, seed=seed) for seed in seeds]
 
-    if len(problems) <= 1 or max_workers == 1:
-        results = [spec.runner(p, c) for p, c in zip(problems, configs)]
+    ephemeral = session is None
+    if ephemeral:
+        sess = Session(model=model, config=config, warm_tracking=False, **overrides)
+        base = sess.config
     else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(spec.runner, problems, configs))
+        sess = session
+        base = build_config(
+            sess.spec, config if config is not None else sess.config, overrides
+        )
+    spec = sess.spec
+    try:
+        if root_seed is None and isinstance(base.seed, int):
+            root_seed = base.seed
+        seeds = derive_instance_seeds(root_seed, len(problems))
+        configs = [replace(base, seed=seed) for seed in seeds]
+
+        if len(problems) <= 1 or max_workers == 1:
+            results = [sess.run_cold(p, c) for p, c in zip(problems, configs)]
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                results = list(pool.map(sess.run_cold, problems, configs))
+    finally:
+        if ephemeral:
+            sess.close()
     return BatchResult(model=spec.name, results=results, root_seed=root_seed)

@@ -13,8 +13,23 @@ from .config import SolverConfig
 from .registry import register_model
 
 
-@register_model(
+def _run_sequential(problem, config: SolverConfig, warm_witnesses=None):
+    """Runner and warm-runner in one: the session passes ``warm_witnesses``.
+
+    One function serves both registry slots so the cold and warm paths can
+    never drift apart in how they unpack the config.
+    """
+    return _clarkson_solve(
+        problem,
+        params=config.to_parameters(),
+        rng=config.seed,
+        warm_witnesses=warm_witnesses,
+    )
+
+
+register_model(
     "sequential",
+    _run_sequential,
     config_cls=SolverConfig,
     description=(
         "In-memory Algorithm 1: Clarkson iterative reweighting with explicit "
@@ -22,6 +37,6 @@ from .registry import register_model
     ),
     currencies=("space_peak_items",),
     replaces="clarkson_solve",
+    warm_runner=_run_sequential,
+    capabilities=("warm_restart", "ingest"),
 )
-def _run_sequential(problem, config: SolverConfig):
-    return _clarkson_solve(problem, params=config.to_parameters(), rng=config.seed)

@@ -1,0 +1,220 @@
+"""``python -m repro`` — the command-line front door.
+
+Three subcommands, all thin wrappers over the public API:
+
+* ``list`` — the registry, via ``describe_model`` / ``describe_problem``;
+* ``solve`` — build a synthetic instance of a registered problem family and
+  solve it in a registered model (``--set key=value`` forwards config
+  fields); ``--json`` prints the full ``SolveResult.to_dict()`` wire form;
+* ``bench`` — thin wrapper over ``benchmarks/run_suite.py`` (the canonical
+  perf suite), resolved relative to the repository checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+__all__ = ["main"]
+
+#: Problem families the ``solve`` subcommand can synthesise (aliases of the
+#: registered names; the instance generators live in ``repro.workloads``).
+SOLVE_FAMILIES = ("lp", "meb", "svm", "qp")
+
+
+def _coerce(text: str) -> Any:
+    """Parse one ``--set`` value: JSON when possible, bare string otherwise."""
+    try:
+        return json.loads(text)
+    except (ValueError, TypeError):
+        return text
+
+
+def _parse_overrides(pairs: Sequence[str]) -> dict[str, Any]:
+    overrides: dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        overrides[key] = _coerce(value)
+    return overrides
+
+
+def _build_instance(family: str, n: int, d: int, seed: int):
+    """A synthetic instance of one problem family (mirrors the perf suite)."""
+    import numpy as np
+
+    from ..problems.meb import MinimumEnclosingBall
+    from ..problems.qp import ConvexQuadraticProgram
+    from ..workloads import (
+        make_separable_classification,
+        random_polytope_lp,
+        svm_problem,
+        uniform_ball_points,
+    )
+
+    if family == "lp":
+        return random_polytope_lp(n, d, seed=seed).problem
+    if family == "meb":
+        return MinimumEnclosingBall(uniform_ball_points(n, d, seed=seed))
+    if family == "svm":
+        return svm_problem(make_separable_classification(n, d, seed=seed))
+    if family == "qp":
+        rng = np.random.default_rng(seed)
+        q_matrix = np.diag(np.linspace(1.0, 2.0, d))
+        normals = rng.normal(size=(n, d))
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        anchor = rng.uniform(-1.0, 1.0, size=d)
+        h_vector = normals @ anchor - rng.uniform(0.1, 1.0, size=n)
+        return ConvexQuadraticProgram(q_matrix, rng.normal(size=d), normals, h_vector)
+    raise SystemExit(f"unknown problem family {family!r}; choose from {SOLVE_FAMILIES}")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .registry import (
+        available_models,
+        available_problems,
+        describe_model,
+        describe_problem,
+    )
+
+    show_models = args.what in ("models", "all")
+    show_problems = args.what in ("problems", "all")
+    if show_models:
+        print("models:")
+        for name in available_models():
+            info = describe_model(name)
+            caps = ",".join(info["capabilities"]) or "-"
+            print(
+                f"  {name:24s} transports={','.join(info['transports'])} "
+                f"capabilities={caps}"
+            )
+            print(f"      {info['description']}")
+    if show_problems:
+        print("problems:")
+        for name in available_problems():
+            info = describe_problem(name)
+            print(f"  {name:24s} tags={','.join(info['tags']) or '-'}")
+            print(f"      {info['description']}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .config import SolverConfig
+    from .facade import solve
+
+    problem = _build_instance(args.problem, args.n, args.d, args.seed)
+    overrides = _parse_overrides(args.set or [])
+    overrides.setdefault("seed", args.seed)
+    config: Optional[SolverConfig] = None
+    if args.practical:
+        from .registry import get_model
+
+        config_cls = get_model(args.model).config_cls
+        seed = overrides.pop("seed")
+        config = config_cls.practical(problem, seed=seed, **overrides)
+        overrides = {}
+    result = solve(problem, model=args.model, config=config, **overrides)
+    if args.json:
+        json.dump(result.to_dict(), sys.stdout, indent=2)
+        print()
+    else:
+        for key, value in result.summary().items():
+            print(f"{key:24s} {value}")
+    return 0
+
+
+def _find_run_suite() -> Path:
+    """Locate ``benchmarks/run_suite.py`` (source checkout layout)."""
+    candidates = [
+        Path.cwd() / "benchmarks" / "run_suite.py",
+        # src/repro/api/cli.py -> repo root is four levels up.
+        Path(__file__).resolve().parents[3] / "benchmarks" / "run_suite.py",
+    ]
+    for candidate in candidates:
+        if candidate.is_file():
+            return candidate
+    raise SystemExit(
+        "benchmarks/run_suite.py not found; `python -m repro bench` needs a "
+        "source checkout (run it from the repository root)"
+    )
+
+
+def _run_bench(bench_args: Sequence[str]) -> int:
+    import runpy
+
+    suite = _find_run_suite()
+    argv = [str(suite)] + list(bench_args)
+    old_argv = sys.argv
+    sys.argv = argv
+    try:
+        try:
+            runpy.run_path(str(suite), run_name="__main__")
+        except SystemExit as exc:
+            return int(exc.code or 0)
+    finally:
+        sys.argv = old_argv
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered models and problems")
+    p_list.add_argument(
+        "what",
+        nargs="?",
+        choices=("models", "problems", "all"),
+        default="all",
+        help="what to list (default: all)",
+    )
+    p_list.set_defaults(func=_cmd_list)
+
+    p_solve = sub.add_parser(
+        "solve", help="solve a synthetic instance of a registered problem family"
+    )
+    p_solve.add_argument("--problem", choices=SOLVE_FAMILIES, default="lp")
+    p_solve.add_argument("--model", default="streaming")
+    p_solve.add_argument("--n", type=int, default=5000, help="constraint count")
+    p_solve.add_argument("--d", type=int, default=3, help="ambient dimension")
+    p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument(
+        "--practical",
+        action="store_true",
+        help="use the constant-free practical profile",
+    )
+    p_solve.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="config field override (repeatable), e.g. --set r=3 --set num_sites=8",
+    )
+    p_solve.add_argument(
+        "--json", action="store_true", help="print the full SolveResult.to_dict()"
+    )
+    p_solve.set_defaults(func=_cmd_solve)
+
+    sub.add_parser(
+        "bench",
+        help=(
+            "run the canonical perf suite (every argument after 'bench' is "
+            "forwarded to benchmarks/run_suite.py verbatim)"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # 'bench' forwards its whole tail to run_suite.py: routed before argparse
+    # because REMAINDER cannot capture a leading optional like '--tier'.
+    if argv[:1] == ["bench"]:
+        return _run_bench(argv[1:])
+    args = build_parser().parse_args(argv)
+    return int(args.func(args) or 0)

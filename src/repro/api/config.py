@@ -68,6 +68,11 @@ class TransportConfig:
     reuse_pool:
         Whether ``"process"`` solves share one process-wide worker pool
         (start-up cost paid once) or each solve owns a private pool.
+        Inside a :class:`~repro.api.session.Session` the distinction moves
+        to the session: ``reuse_pool=False`` yields a *session-private*
+        pool, spun up once at session creation, reused by every solve of
+        the session, and torn down by ``Session.close()`` — the
+        amortisation the ``session_amortization`` benchmark measures.
     start_method:
         :mod:`multiprocessing` start method for the workers (``"spawn"``
         inherits nothing and behaves identically on every platform).

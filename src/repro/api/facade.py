@@ -18,10 +18,11 @@ paper's cross-model tables are built from.
 
 from __future__ import annotations
 
-from dataclasses import fields
+import warnings
+from dataclasses import MISSING, fields
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Optional
 
-from ..core.exceptions import InvalidConfigError
+from ..core.exceptions import ConfigFieldDroppedWarning, InvalidConfigError
 from .config import SolverConfig, construct_config
 from .registry import ModelSpec, get_model
 
@@ -35,10 +36,28 @@ __all__ = ["solve", "compare_models", "DEFAULT_COMPARISON_MODELS"]
 DEFAULT_COMPARISON_MODELS = ("sequential", "streaming", "coordinator", "mpc")
 
 
+def _non_default(config: SolverConfig, field_obj: Any) -> bool:
+    """Whether one config field was changed away from its declared default."""
+    value = getattr(config, field_obj.name)
+    default = field_obj.default
+    if default is MISSING:
+        factory = field_obj.default_factory
+        if factory is MISSING:
+            return True  # no default at all: every value is caller-chosen
+        default = factory()
+    if default is None:
+        return value is not None
+    try:
+        return bool(value != default)
+    except Exception:  # pragma: no cover - exotic field types
+        return True
+
+
 def build_config(
     spec: ModelSpec,
     config: Optional[SolverConfig],
     overrides: Mapping[str, Any],
+    warn_dropped: bool = True,
 ) -> SolverConfig:
     """Resolve the effective config for one model.
 
@@ -46,8 +65,12 @@ def build_config(
     class (used as-is, with ``overrides`` applied), or any other
     :class:`SolverConfig` — in which case the fields shared with the model's
     config class are carried over (so one base config can seed a
-    cross-model comparison).  Unknown override keys raise
-    :class:`InvalidConfigError` naming the key.
+    cross-model comparison).  Fields of the source config that the target
+    class does not understand are dropped; when a dropped field was set to
+    a non-default value, a :class:`ConfigFieldDroppedWarning` names it
+    (``warn_dropped=False`` silences this — ``compare_models`` does, since
+    cross-class seeding is its documented contract).  Unknown override keys
+    raise :class:`InvalidConfigError` naming the key.
     """
     cls = spec.config_cls
     if config is None:
@@ -63,6 +86,20 @@ def build_config(
             for f in fields(config)
             if f.name in target
         }
+        if warn_dropped:
+            dropped = [
+                f.name
+                for f in fields(config)
+                if f.name not in target and _non_default(config, f)
+            ]
+            if dropped:
+                warnings.warn(
+                    f"seeding {cls.__name__} for model {spec.name!r} from a "
+                    f"{type(config).__name__} drops its non-default field(s) "
+                    f"{', '.join(map(repr, dropped))}",
+                    ConfigFieldDroppedWarning,
+                    stacklevel=3,
+                )
     else:
         raise InvalidConfigError(
             f"config must be a SolverConfig (ideally {cls.__name__}) or None, "
@@ -104,10 +141,18 @@ def solve(
         The optimum, witness, basis, iteration trace, and the resource
         usage in the model's currencies (see
         :func:`repro.describe_model`).
+
+    Notes
+    -----
+    This is a thin shim over an *ephemeral* :class:`~repro.api.session.Session`
+    (one solve, no warm tracking) and is bit-identical to the historical
+    one-shot behaviour; open a session explicitly (``repro.session(...)``)
+    to reuse transports and warm state across solves.
     """
-    spec = get_model(model)
-    effective = build_config(spec, config, overrides)
-    return spec.runner(problem, effective)
+    from .session import Session
+
+    with Session(model=model, config=config, warm_tracking=False, **overrides) as sess:
+        return sess.solve(problem)
 
 
 def compare_models(
@@ -125,6 +170,8 @@ def compare_models(
     streaming run, say); a key unknown to every selected model still raises
     :class:`InvalidConfigError`.
     """
+    from .session import Session
+
     names = tuple(models) if models is not None else DEFAULT_COMPARISON_MODELS
     specs = [get_model(name) for name in names]
     supported: set[str] = set()
@@ -139,5 +186,14 @@ def compare_models(
     results: dict[str, "SolveResult"] = {}
     for spec in specs:
         local = {k: v for k, v in overrides.items() if k in spec.config_keys}
-        results[spec.name] = spec.runner(problem, build_config(spec, config, local))
+        # One ephemeral session per model; cross-class config seeding is the
+        # documented contract here, so dropped-field warnings are silenced.
+        with Session(
+            model=spec.name,
+            config=config,
+            warm_tracking=False,
+            warn_dropped=False,
+            **local,
+        ) as sess:
+            results[spec.name] = sess.solve(problem)
     return results

@@ -54,6 +54,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "ModelSpec",
     "ProblemSpec",
+    "SessionSpec",
     "register_model",
     "register_problem",
     "unregister_model",
@@ -65,6 +66,29 @@ __all__ = [
     "describe_model",
     "describe_problem",
 ]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Session-level capabilities of one registered model.
+
+    Derived from the :class:`ModelSpec` and surfaced by
+    :func:`describe_model` under the ``"session"`` key, so callers can check
+    *before* opening a session whether a model supports warm re-solves
+    (``repro.session(...).resolve_with``), streaming ingestion handles, and
+    which transports its driver can execute on.
+    """
+
+    warm_restart: bool
+    ingest: bool
+    transports: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "warm_restart": self.warm_restart,
+            "ingest": self.ingest,
+            "transports": list(self.transports),
+        }
 
 
 @dataclass(frozen=True)
@@ -91,6 +115,15 @@ class ModelSpec:
         The :class:`~repro.api.config.TransportConfig` kinds the model's
         driver can execute on (every model runs in-process; the distributed
         models additionally run on real worker processes).
+    warm_runner:
+        Optional ``warm_runner(problem, config, warm_witnesses) ->
+        SolveResult`` adapter: runs the driver with its weight state seeded
+        from the given successful-iteration basis witnesses (Section 3.2's
+        model-independent weight representation) and reports reuse stats in
+        ``SolveResult.warm``.  Models without one cannot warm-restart.
+    capabilities:
+        Session-level capability tags (``"warm_restart"``, ``"ingest"``)
+        surfaced through :class:`SessionSpec` / :func:`describe_model`.
     """
 
     name: str
@@ -100,11 +133,23 @@ class ModelSpec:
     currencies: tuple[str, ...] = ()
     replaces: str | None = None
     transports: tuple[str, ...] = ("inprocess",)
+    warm_runner: Callable[..., "SolveResult"] | None = None
+    capabilities: tuple[str, ...] = ()
 
     @property
     def config_keys(self) -> tuple[str, ...]:
         """Names of the configuration fields this model understands."""
         return tuple(f.name for f in dataclasses.fields(self.config_cls))
+
+    @property
+    def session_spec(self) -> SessionSpec:
+        """The session-level capability record of this model."""
+        return SessionSpec(
+            warm_restart=self.warm_runner is not None
+            and "warm_restart" in self.capabilities,
+            ingest="ingest" in self.capabilities,
+            transports=self.transports,
+        )
 
 
 @dataclass(frozen=True)
@@ -155,6 +200,8 @@ def register_model(
     currencies: tuple[str, ...] = (),
     replaces: str | None = None,
     transports: tuple[str, ...] = ("inprocess",),
+    warm_runner: Callable[..., Any] | None = None,
+    capabilities: tuple[str, ...] = (),
 ) -> Callable[..., Any]:
     """Register a computation model; usable as a decorator on its runner.
 
@@ -173,6 +220,8 @@ def register_model(
             currencies=tuple(currencies),
             replaces=replaces,
             transports=tuple(transports),
+            warm_runner=warm_runner,
+            capabilities=tuple(capabilities),
         )
         return fn
 
@@ -275,6 +324,8 @@ def describe_model(name: str) -> Mapping[str, Any]:
         "config_keys": config_fields,
         "replaces": spec.replaces,
         "transports": list(spec.transports),
+        "capabilities": list(spec.capabilities),
+        "session": spec.session_spec.as_dict(),
     }
 
 

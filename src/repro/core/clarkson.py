@@ -25,7 +25,7 @@ from .engine import (
 )
 from .epsnet import EpsNetSpec
 from .lptype import LPTypeProblem
-from .result import ResourceUsage, SolveResult
+from .result import ResourceUsage, SolveResult, WarmStats
 from .rng import SeedLike, as_generator
 from .weights import ExplicitWeights, boost_factor
 
@@ -172,16 +172,39 @@ def solve_small_problem(problem: LPTypeProblem) -> SolveResult:
     )
 
 
+def _warm_stats(
+    warm_witnesses: list | None, outcome_witnesses: list
+) -> WarmStats | None:
+    """The ``SolveResult.warm`` record of one session-tracked run.
+
+    ``warm_witnesses is None`` means "not a session solve" — no record.  An
+    empty list means the session's first (cold) solve: numerically identical
+    to a plain solve, but the witness state is tracked for later re-solves.
+    """
+    if warm_witnesses is None:
+        return None
+    return WarmStats(
+        warm_start=bool(warm_witnesses),
+        reused_bases=len(warm_witnesses),
+        new_bases=len(outcome_witnesses),
+        witnesses=list(warm_witnesses) + list(outcome_witnesses),
+    )
+
+
 def _clarkson_solve(
     problem: LPTypeProblem,
     params: ClarksonParameters | None = None,
     rng: SeedLike = None,
+    warm_witnesses: list | None = None,
 ) -> SolveResult:
     """Sequential meta-algorithm (Algorithm 1); see :func:`clarkson_solve`.
 
     Internal entry point used by ``repro.solve(problem, model="sequential")``
     and the baselines; identical to the public shim minus the deprecation
-    warning.
+    warning.  ``warm_witnesses`` (session API) seeds the weight vector from
+    a prior run's successful-iteration bases: constraint ``i`` starts at
+    ``boost ** #violated-witnesses`` instead of 1, exactly the implicit
+    weight it would carry had the prior iterations happened in this run.
     """
     params = params or ClarksonParameters()
     gen = as_generator(rng)
@@ -195,11 +218,18 @@ def _clarkson_solve(
         # The eps-net would contain every constraint; solve directly.
         result = solve_small_problem(problem)
         result.metadata.update({"r": params.r, "sample_size": sample_size})
+        result.warm = _warm_stats(warm_witnesses, [])
         return result
 
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
-    weights = ExplicitWeights.uniform(n, boost)
     oracle = ViolationOracle(problem)
+    if warm_witnesses:
+        # One vectorised sweep recovers the carried weight state (counted
+        # against the oracle like any other violation evaluation).
+        exponents = oracle.count_matrix(warm_witnesses, problem.all_indices())
+        weights = ExplicitWeights.from_exponents(exponents, boost)
+    else:
+        weights = ExplicitWeights.uniform(n, boost)
     substrate = ExplicitWeightSubstrate(problem, weights, oracle=oracle)
     engine = ClarksonEngine(
         problem=problem,
@@ -236,6 +266,7 @@ def _clarkson_solve(
             "sample_size": sample_size,
             "boost": boost,
         },
+        warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )
 
 

@@ -39,6 +39,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
+from .budget import active_meter
 from .exceptions import InvalidConfigError, IterationLimitError
 from .lptype import BasisResult, LPTypeProblem
 from .result import IterationRecord
@@ -268,6 +269,11 @@ class EngineOutcome:
     trace: list[IterationRecord] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Witnesses of the bases of successful iterations, in order.  This is
+    #: the run's weight state in its model-independent form (Section 3.2:
+    #: the weight of a constraint is ``boost ** #violated-stored-bases``);
+    #: the session API carries it between solves to warm-start re-solves.
+    successful_witnesses: list[Any] = field(default_factory=list)
 
 
 class ClarksonEngine:
@@ -312,10 +318,17 @@ class ClarksonEngine:
         config = self.config
         trace: list[IterationRecord] = []
         successful = 0
+        successful_witnesses: list[Any] = []
         final_basis: BasisResult | None = None
         iterations = 0
+        # Per-request budget (if any): charged once per iteration so a
+        # budgeted request aborts at an iteration boundary.  Unbudgeted
+        # solves see a single ``None`` check per iteration.
+        meter = active_meter()
 
         for iteration in range(config.budget):
+            if meter is not None:
+                meter.charge_iteration()
             sample = self.sampler.draw(config.sample_size)
             basis = self._solve_sample(sample)
             stats = self.substrate.measure(sample, basis)
@@ -338,6 +351,7 @@ class ClarksonEngine:
             if success:
                 self.substrate.boost(stats)
                 successful += 1
+                successful_witnesses.append(basis.witness)
         else:
             raise IterationLimitError(
                 f"{config.name} did not terminate within {config.budget} iterations "
@@ -353,6 +367,7 @@ class ClarksonEngine:
             trace=trace,
             cache_hits=self.basis_cache.hits if self.basis_cache else 0,
             cache_misses=self.basis_cache.misses if self.basis_cache else 0,
+            successful_witnesses=successful_witnesses,
         )
 
 

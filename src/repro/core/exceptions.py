@@ -78,3 +78,64 @@ class CommunicationError(ReproError):
 
 class ProtocolError(ReproError):
     """Raised when a two-party communication protocol is used incorrectly."""
+
+
+class SessionError(ReproError):
+    """Raised on misuse of the stateful session API.
+
+    Examples: calling :meth:`repro.api.session.Session.resolve_with` before
+    any solve established a warm state, warm-restarting a model that does not
+    support it (see ``describe_model(name)["session"]``), or feeding an
+    ingestion handle after it was finalised.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a solve exhausts its per-request resource budget.
+
+    Carries the partial resource picture accumulated up to the abort point so
+    that service callers can log or bill the truncated request:
+
+    Attributes
+    ----------
+    reason:
+        Which budget currency ran out (``"wall_time"``, ``"iterations"``, or
+        ``"communication_bits"``).
+    elapsed_s:
+        Wall-clock seconds spent when the budget tripped.
+    iterations:
+        Meta-algorithm iterations completed when the budget tripped.
+    communication_bits:
+        Measured communication bits moved when the budget tripped.
+    usage:
+        Partial :class:`~repro.core.result.ResourceUsage` (the currencies the
+        budget meter tracks; driver-private currencies are zero).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "",
+        elapsed_s: float = 0.0,
+        iterations: int = 0,
+        communication_bits: int = 0,
+        usage: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.elapsed_s = float(elapsed_s)
+        self.iterations = int(iterations)
+        self.communication_bits = int(communication_bits)
+        self.usage = usage
+
+
+class ConfigFieldDroppedWarning(UserWarning):
+    """Emitted when seeding a narrower config from a richer one drops fields.
+
+    ``build_config`` carries over the fields shared between the given config
+    and the target model's config class; any *non-default* field of the
+    source that the target does not understand is silently lost.  This
+    warning names those fields so the drop is visible (``compare_models``
+    deliberately suppresses it: cross-model seeding is its documented
+    contract)."""

@@ -66,6 +66,26 @@ class ExplicitWeights:
             raise ValueError(f"boost must exceed 1, got {boost}")
         return cls(log_weights=np.zeros(count, dtype=float), boost=float(boost))
 
+    @classmethod
+    def from_exponents(
+        cls, exponents: Sequence[int] | np.ndarray, boost: float
+    ) -> "ExplicitWeights":
+        """Weights ``boost ** exponents`` in log-space (warm-start seeding).
+
+        This is the bridge between the two weight realisations: a prior
+        run's implicit weights — the per-constraint count of stored bases
+        violated (Section 3.2) — become an explicit vector, so a
+        warm-restarted explicit-weight driver starts exactly where an
+        implicit-weight driver carrying the same bases would.  All-zero
+        exponents reproduce :meth:`uniform` bit for bit.
+        """
+        if boost <= 1.0:
+            raise ValueError(f"boost must exceed 1, got {boost}")
+        exp = np.asarray(exponents, dtype=float).reshape(-1)
+        if exp.size < 1:
+            raise ValueError(f"need at least one exponent, got {exp.size}")
+        return cls(log_weights=exp * float(np.log(boost)), boost=float(boost))
+
     def __len__(self) -> int:
         return int(self.log_weights.size)
 

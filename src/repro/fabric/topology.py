@@ -33,6 +33,7 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 import numpy as np
 
 from ..core.accounting import BitCostModel, RoundLedger
+from ..core.budget import active_meter
 from ..core.exceptions import CommunicationError
 from .payload import Payload
 from .transport import InProcessTransport, Transport, new_session
@@ -126,6 +127,11 @@ class Topology:
     def _note_message(self, bits: int) -> None:
         self.total_bits += bits
         self.max_message_bits = max(self.max_message_bits, bits)
+        # Per-request communication budgets (session/service API): every
+        # measured message is charged against the active meter, if any.
+        meter = active_meter()
+        if meter is not None:
+            meter.charge_bits(bits)
 
     def _note_round_load(self, load: int) -> None:
         self.max_load_bits = max(self.max_load_bits, load)
@@ -434,8 +440,7 @@ class GridTopology(Topology):
             raise ValueError("bits must be non-negative")
         self._sent[source] += bits
         self._received[destination] += bits
-        self.max_message_bits = max(self.max_message_bits, bits)
-        self.total_bits += bits
+        self._note_message(bits)
         return self.transport.deliver(payload)
 
     # ------------------------------------------------------------------ #

@@ -32,8 +32,10 @@ import multiprocessing as mp
 import pickle
 import threading
 import traceback
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence
 
 from ..core.exceptions import CommunicationError
 from .payload import Payload, decode_payload
@@ -46,6 +48,7 @@ __all__ = [
     "Transport",
     "InProcessTransport",
     "ProcessPoolTransport",
+    "pinned_transport",
     "resolve_transport",
     "shared_process_transport",
 ]
@@ -266,6 +269,15 @@ class ProcessPoolTransport(Transport):
                 self._locks.append(threading.Lock())
             self._started = True
 
+    def warm_up(self) -> None:
+        """Start the worker processes now.
+
+        Sessions call this at construction so the (substantial, under
+        ``spawn``) interpreter start-up cost is paid once up front instead of
+        inside the first solve's latency.
+        """
+        self._ensure_started()
+
     def _worker_for(self, node_id: int) -> int:
         return int(node_id) % self.max_workers
 
@@ -414,15 +426,52 @@ def _close_shared_pools() -> None:  # pragma: no cover - interpreter shutdown
         _SHARED_POOLS.clear()
 
 
+_PINNED_TRANSPORT: ContextVar[Optional[Transport]] = ContextVar(
+    "repro_pinned_transport", default=None
+)
+
+
+@contextmanager
+def pinned_transport(transport: Optional[Transport]) -> Iterator[None]:
+    """Pin one transport for every :func:`resolve_transport` call in scope.
+
+    The session API uses this to hand its long-lived worker pool to the
+    drivers without widening their signatures: while the pin is active, any
+    driver asking for a transport of the pinned *kind* receives the pinned
+    instance instead of resolving a fresh (or shared) one.  The pinned
+    transport is never marked ``private``, so topologies release their node
+    states on ``close()`` but leave the workers running — the owner (the
+    session) tears the pool down when it exits.
+
+    ``None`` pins nothing (callers can pass their maybe-transport through
+    unconditionally).
+    """
+    if transport is None:
+        yield
+        return
+    token = _PINNED_TRANSPORT.set(transport)
+    try:
+        yield
+    finally:
+        _PINNED_TRANSPORT.reset(token)
+
+
 def resolve_transport(config: "TransportConfig | None") -> Transport:
     """The transport instance for one solve, from its (optional) config.
 
-    ``None`` and ``kind="inprocess"`` return a fresh
+    A transport pinned via :func:`pinned_transport` wins whenever its kind
+    matches the requested one (sessions reuse one pool across solves).
+    Otherwise ``None`` and ``kind="inprocess"`` return a fresh
     :class:`InProcessTransport` (per-solve state isolation is free);
     ``kind="process"`` returns the shared pool by default, or a dedicated
     pool when ``config.reuse_pool`` is false — the dedicated pool is marked
     ``private`` so the owning topology tears it down when the run ends.
     """
+    pinned = _PINNED_TRANSPORT.get()
+    if pinned is not None:
+        requested = "inprocess" if config is None else config.kind
+        if requested == pinned.name:
+            return pinned
     if config is None or config.kind == "inprocess":
         return InProcessTransport()
     if config.kind == "process":

@@ -233,6 +233,51 @@ def test_subclass_config_coerces_to_narrower_model_config(medium_lp):
     assert sorted(results) == ["coordinator", "mpc", "sequential", "streaming"]
 
 
+def test_dropped_config_fields_warn_by_name(medium_lp):
+    """Seeding a narrower config from a richer one no longer drops fields
+    silently: a ConfigFieldDroppedWarning names every non-default field the
+    target class cannot carry over (regression: ISSUE 5 satellite)."""
+    from repro import StreamingConfig
+    from repro.core.exceptions import ConfigFieldDroppedWarning
+
+    order = list(range(medium_lp.num_constraints))
+    cfg = StreamingConfig(r=2, seed=SEED, order=order, **FAST)
+    with pytest.warns(ConfigFieldDroppedWarning, match="'order'"):
+        result = solve(medium_lp, model="sequential", config=cfg)
+    assert result.basis_indices  # the solve itself still runs
+
+
+def test_default_valued_fields_drop_without_warning(medium_lp, recwarn):
+    """Carrying a richer config whose extra fields are all defaults stays
+    silent — only genuinely-set fields are worth warning about."""
+    import warnings as _warnings
+
+    from repro import StreamingConfig
+    from repro.core.exceptions import ConfigFieldDroppedWarning
+
+    cfg = StreamingConfig(r=2, seed=SEED, **FAST)
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error", ConfigFieldDroppedWarning)
+        solve(medium_lp, model="sequential", config=cfg)
+
+
+def test_compare_models_suppresses_drop_warnings(medium_lp):
+    """Cross-model seeding is compare_models' documented contract, so the
+    drop warning stays quiet there."""
+    import warnings as _warnings
+
+    from repro import CoordinatorConfig
+    from repro.core.exceptions import ConfigFieldDroppedWarning
+
+    cfg = CoordinatorConfig(r=2, seed=SEED, num_sites=3, **FAST)
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error", ConfigFieldDroppedWarning)
+        results = compare_models(
+            medium_lp, models=("sequential", "streaming"), config=cfg
+        )
+    assert sorted(results) == ["sequential", "streaming"]
+
+
 def test_baseline_models_reachable_from_facade(medium_lp):
     exact = solve(medium_lp, model="exact")
     ship = solve(medium_lp, model="ship_all_coordinator", num_sites=4)

@@ -1,0 +1,108 @@
+"""The ``python -m repro`` command-line entry point."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.cli import main
+
+
+def test_list_shows_models_and_problems(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "streaming" in out
+    assert "linear_program" in out
+    assert "warm_restart" in out  # session capabilities are surfaced
+
+
+def test_list_models_only(capsys):
+    assert main(["list", "models"]) == 0
+    out = capsys.readouterr().out
+    assert "models:" in out
+    assert "problems:" not in out
+
+
+def test_solve_prints_a_summary(capsys):
+    code = main(
+        [
+            "solve",
+            "--problem",
+            "lp",
+            "--model",
+            "sequential",
+            "--n",
+            "500",
+            "--d",
+            "2",
+            "--seed",
+            "1",
+            "--set",
+            "sample_size=200",
+            "--set",
+            "success_threshold=0.02",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "value" in out
+    assert "iterations" in out
+
+
+@pytest.mark.parametrize("family", ("meb", "svm", "qp"))
+def test_solve_covers_every_problem_family(capsys, family):
+    code = main(
+        [
+            "solve",
+            "--problem",
+            family,
+            "--model",
+            "sequential",
+            "--n",
+            "400",
+            "--d",
+            "2",
+            "--practical",
+        ]
+    )
+    assert code == 0
+    assert "value" in capsys.readouterr().out
+
+
+def test_solve_json_emits_the_wire_form(capsys):
+    code = main(
+        ["solve", "--n", "400", "--d", "2", "--practical", "--json"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro-result/1"
+    assert payload["basis_indices"]
+    assert "communication" in payload
+
+
+def test_solve_rejects_malformed_set(capsys):
+    with pytest.raises(SystemExit):
+        main(["solve", "--set", "not-a-pair"])
+
+
+def test_bench_wraps_run_suite(tmp_path, capsys):
+    out = tmp_path / "BENCH.json"
+    code = main(
+        [
+            "bench",
+            "--tier",
+            "small",
+            "--repeats",
+            "1",
+            "--models",
+            "sequential",
+            "--problems",
+            "lp",
+            "-o",
+            str(out),
+        ]
+    )
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["scenarios"][0]["id"] == "lp:sequential:small"
