@@ -4,7 +4,7 @@ This is the arbiter for every perf-focused PR: a fixed grid of
 ``model x problem family x size tier`` scenarios, each driven through the
 ``repro.solve()`` front door with the practical profile and a pinned seed, so
 two runs of the same tier on the same machine measure the same work.  The
-output is ``BENCH.json`` (schema ``repro-bench/2``, documented in
+output is ``BENCH.json`` (schema ``repro-bench/3``, documented in
 ``docs/performance.md``): per-scenario wall time, iteration count, violation
 oracle calls, basis-cache hit rate, modelled peak bytes, plus the
 **communication currencies** of the fabric — rounds/passes, total measured
@@ -17,13 +17,24 @@ currencies: wall time (``--max-regression``, default 2x) and communication
 default +1 round), so a perf PR cannot buy wall-clock speed with silent
 communication blow-ups.
 
+Schema ``repro-bench/3`` additionally records the active kernel backend per
+scenario; ``--backends numpy fused`` runs the grid once per backend and emits
+a ``backend_speedups`` block (geomean wall-time ratio of every backend over
+the first one listed).  The ``xlarge`` tier (n = 10^7, sequential model only
+by default) is the kernel layer's headline tier.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_suite.py --tier small -o BENCH.json
     PYTHONPATH=src python benchmarks/run_suite.py --tier medium --repeats 5
+    # kernel-backend comparison on the large-input tier
+    PYTHONPATH=src python benchmarks/run_suite.py --tier xlarge \
+        --backends numpy fused --repeats 1
     # CI regression gate: wall time and communication vs the baseline
     PYTHONPATH=src python benchmarks/run_suite.py --tier small \
         --baseline benchmarks/bench_baseline_small.json --max-regression 2.0
+    # print the checked-in snapshot geomeans per tier/backend
+    PYTHONPATH=src python benchmarks/run_suite.py --history
 """
 
 from __future__ import annotations
@@ -53,16 +64,36 @@ from repro.workloads import (
     uniform_ball_points,
 )
 
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
 #: Constraint counts per tier (shared by all four problem families).
-TIERS = {"small": 2_000, "medium": 100_000, "large": 250_000}
+TIERS = {
+    "small": 2_000,
+    "medium": 100_000,
+    "large": 250_000,
+    "xlarge": 10_000_000,
+}
 
-#: Ambient dimension of every scenario (the paper's regime is n >> d).
+#: Ambient dimension of every scenario (the paper's regime is n >> d).  The
+#: xlarge tier uses a wider d so that the constraint sweeps are matvec-bound
+#: (the regime the fused kernels target) rather than pure memory traffic.
 DIMENSION = 3
+TIER_DIMENSIONS = {"small": 3, "medium": 3, "large": 3, "xlarge": 8}
 
 MODELS = ("sequential", "streaming", "coordinator", "mpc")
 PROBLEMS = ("lp", "meb", "svm", "qp")
+
+#: Default model list per tier.  The xlarge tier times the kernel layer, not
+#: the fabric simulators, so it runs the sequential model only (the other
+#: models can still be requested explicitly with ``--models``).
+TIER_MODELS = {"xlarge": ("sequential",)}
+
+#: Clarkson ``r`` per tier (default 2).  At n = 10^7 the r = 2 eps-net sample
+#: is ~10^5.5 rows, so the in-sample working-set solves — identical across
+#: kernel backends — dominate wall time; r = 4 shrinks the sample to ~n^(1/4)
+#: (the paper's memory-lean regime for very large n) and puts the tier in the
+#: full-array-sweep regime the kernel layer targets.
+TIER_R = {"xlarge": 4}
 
 #: Model-specific overrides applied on top of the practical profile.
 MODEL_OVERRIDES = {
@@ -86,15 +117,15 @@ def _random_qp(n: int, d: int, seed: int) -> ConvexQuadraticProgram:
     return ConvexQuadraticProgram(q_matrix, q_vector, normals, h_vector)
 
 
-def _build_problem(family: str, n: int, seed: int) -> LPTypeProblem:
+def _build_problem(family: str, n: int, seed: int, d: int = DIMENSION) -> LPTypeProblem:
     if family == "lp":
-        return random_polytope_lp(n, DIMENSION, seed=seed).problem
+        return random_polytope_lp(n, d, seed=seed).problem
     if family == "meb":
-        return MinimumEnclosingBall(uniform_ball_points(n, DIMENSION, seed=seed))
+        return MinimumEnclosingBall(uniform_ball_points(n, d, seed=seed))
     if family == "svm":
-        return svm_problem(make_separable_classification(n, DIMENSION, seed=seed))
+        return svm_problem(make_separable_classification(n, d, seed=seed))
     if family == "qp":
-        return _random_qp(n, DIMENSION, seed)
+        return _random_qp(n, d, seed)
     raise ValueError(f"unknown problem family {family!r}")
 
 
@@ -143,15 +174,26 @@ class Scenario:
     model: str
     tier: str
     n: int
+    d: int = DIMENSION
+    backend: str | None = None
 
     @property
     def scenario_id(self) -> str:
-        return f"{self.family}:{self.model}:{self.tier}"
+        base = f"{self.family}:{self.model}:{self.tier}"
+        # Backend-qualified ids only when a backend was explicitly requested,
+        # so default runs keep matching schema-v2 baselines.
+        return base if self.backend is None else f"{base}:{self.backend}"
 
     def run(self, repeats: int) -> dict:
         seed = _scenario_seed(self.family, self.model, self.n)
-        problem = _build_problem(self.family, self.n, seed)
-        config = SolverConfig.practical(problem, r=2, keep_trace=False, seed=seed)
+        problem = _build_problem(self.family, self.n, seed, d=self.d)
+        config = SolverConfig.practical(
+            problem,
+            r=TIER_R.get(self.tier, 2),
+            keep_trace=False,
+            seed=seed,
+            kernel_backend=self.backend,
+        )
         overrides = MODEL_OVERRIDES[self.model]
 
         walls: list[float] = []
@@ -172,7 +214,8 @@ class Scenario:
             "model": self.model,
             "tier": self.tier,
             "n": self.n,
-            "d": DIMENSION,
+            "d": self.d,
+            "kernel_backend": result.metadata.get("kernel_backend"),
             "seed": seed,
             "wall_time_s": round(statistics.median(walls), 6),
             "wall_times_s": [round(w, 6) for w in walls],
@@ -251,10 +294,18 @@ def session_amortization(
     }
 
 
-def build_grid(tier: str, models: list[str], problems: list[str]) -> list[Scenario]:
-    n = TIERS[tier]
+def build_grid(
+    tier: str,
+    models: list[str],
+    problems: list[str],
+    backends: list[str | None] | None = None,
+    n: int | None = None,
+) -> list[Scenario]:
+    size = TIERS[tier] if n is None else int(n)
+    d = TIER_DIMENSIONS.get(tier, DIMENSION)
     return [
-        Scenario(family=family, model=model, tier=tier, n=n)
+        Scenario(family=family, model=model, tier=tier, n=size, d=d, backend=backend)
+        for backend in (backends or [None])
         for family in problems
         for model in models
     ]
@@ -265,6 +316,77 @@ def geomean(values: list[float]) -> float:
     if not positive:
         return 0.0
     return math.exp(sum(math.log(v) for v in positive) / len(positive))
+
+
+def backend_speedups(scenarios: list[dict], backends: list[str]) -> dict:
+    """Geomean wall-time speedup of each backend over the first one listed.
+
+    Scenarios are matched cell-by-cell (family, model, tier); the headline
+    number of the kernel layer is ``backend_speedups["fused"]`` of an xlarge
+    ``--backends numpy fused`` run.
+    """
+    by_backend: dict[str, dict[tuple, float]] = {}
+    for row in scenarios:
+        key = (row["problem"], row["model"], row["tier"])
+        by_backend.setdefault(row["kernel_backend"], {})[key] = row["wall_time_s"]
+    reference = backends[0]
+    out = {}
+    for backend in backends[1:]:
+        ratios = [
+            base_wall / wall
+            for key, base_wall in by_backend.get(reference, {}).items()
+            for wall in [by_backend.get(backend, {}).get(key)]
+            if wall and base_wall > 0
+        ]
+        out[backend] = round(geomean(ratios), 3) if ratios else None
+    return {"reference": reference, "speedups": out}
+
+
+def print_history(bench_dir: str | None = None) -> int:
+    """Print the checked-in snapshot geomeans, grouped per tier and backend."""
+    import pathlib
+
+    root = pathlib.Path(bench_dir) if bench_dir else pathlib.Path(__file__).parent
+    rows = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not str(report.get("schema", "")).startswith("repro-bench/"):
+            continue
+        by_backend: dict[str, list[float]] = {}
+        for scenario in report.get("scenarios", []):
+            backend = scenario.get("kernel_backend") or "default"
+            by_backend.setdefault(backend, []).append(scenario["wall_time_s"])
+        for backend, walls in sorted(by_backend.items()):
+            rows.append(
+                (
+                    path.name,
+                    report.get("schema", "?"),
+                    report.get("tier", "?"),
+                    backend,
+                    len(walls),
+                    geomean(walls),
+                )
+            )
+        speedups = report.get("backend_speedups")
+        if speedups:
+            pairs = ", ".join(
+                f"{backend}={ratio}x" for backend, ratio in speedups["speedups"].items()
+            )
+            rows.append(
+                (path.name, "", "", f"speedup vs {speedups['reference']}", "", pairs)
+            )
+    if not rows:
+        print(f"no repro-bench snapshots found under {root}")
+        return 1
+    print(f"{'snapshot':40} {'schema':14} {'tier':8} {'backend':22} {'cells':>5} geomean")
+    for name, schema, tier, backend, cells, value in rows:
+        value_text = f"{value:.4f}s" if isinstance(value, float) else str(value)
+        print(f"{name:40} {schema:14} {tier:8} {backend:22} {str(cells):>5} {value_text}")
+    return 0
 
 
 def _communication_failures(
@@ -377,8 +499,29 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--tier", choices=sorted(TIERS), default="small")
     parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--models", nargs="+", default=list(MODELS), choices=MODELS)
+    parser.add_argument("--models", nargs="+", default=None, choices=MODELS)
     parser.add_argument("--problems", nargs="+", default=list(PROBLEMS), choices=PROBLEMS)
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        help=(
+            "kernel backends to run the grid on (e.g. numpy fused); with more "
+            "than one, the report gains a backend_speedups block relative to "
+            "the first.  Default: the resolved default backend."
+        ),
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="override the tier's constraint count (CI smoke budgets)",
+    )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="print the checked-in benchmark snapshots' geomeans per tier/backend and exit",
+    )
     parser.add_argument("-o", "--output", default="BENCH.json")
     parser.add_argument(
         "--baseline", default=None, help="baseline BENCH.json to gate regressions against"
@@ -418,13 +561,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    grid = build_grid(args.tier, args.models, args.problems)
+    if args.history:
+        return print_history()
+
+    models = args.models or list(TIER_MODELS.get(args.tier, MODELS))
+    grid = build_grid(args.tier, models, args.problems, args.backends, n=args.n)
     scenarios = []
     for scenario in grid:
         row = scenario.run(max(1, args.repeats))
         scenarios.append(row)
         print(
-            f"{row['id']}: {row['wall_time_s']:.4f}s, {row['iterations']} iterations, "
+            f"{row['id']}: {row['wall_time_s']:.4f}s "
+            f"[{row['kernel_backend']}], {row['iterations']} iterations, "
             f"{row['oracle_calls']} oracle calls, cache hit rate {row['cache_hit_rate']}"
         )
 
@@ -432,8 +580,8 @@ def main(argv: list[str] | None = None) -> int:
         "schema": SCHEMA,
         "tier": args.tier,
         "repeats": args.repeats,
-        "dimension": DIMENSION,
-        "n": TIERS[args.tier],
+        "dimension": TIER_DIMENSIONS.get(args.tier, DIMENSION),
+        "n": args.n if args.n is not None else TIERS[args.tier],
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),
@@ -443,6 +591,12 @@ def main(argv: list[str] | None = None) -> int:
         ),
         "total_comm_bits": sum(s["total_comm_bits"] for s in scenarios),
     }
+    if args.backends and len(args.backends) > 1:
+        report["backend_speedups"] = backend_speedups(scenarios, args.backends)
+        for backend, ratio in report["backend_speedups"]["speedups"].items():
+            print(
+                f"backend speedup {backend} vs {args.backends[0]}: {ratio}x geomean"
+            )
     if args.session_bench:
         report["session_amortization"] = session_amortization()
         amort = report["session_amortization"]

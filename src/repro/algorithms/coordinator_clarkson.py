@@ -43,6 +43,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..core.accounting import BitCostModel
 from ..core.clarkson import (
     ClarksonParameters,
@@ -95,11 +96,12 @@ def _site_weight_round(state: dict, apply_boost: int) -> tuple[dict, float]:
     if apply_boost and state["pending"] is not None and state["local_indices"].size:
         state["weights"].multiply(state["pending"])
     state["pending"] = None
-    total = (
-        float(np.exp(state["weights"].total_weight_log()))
-        if state["local_indices"].size
-        else 0.0
-    )
+    with kernels.use_backend(state.get("kernel")):
+        total = (
+            float(np.exp(state["weights"].total_weight_log()))
+            if state["local_indices"].size
+            else 0.0
+        )
     return state, total
 
 
@@ -121,18 +123,25 @@ def _site_sample_round(state: dict, count: int) -> tuple[dict, ConstraintBlock]:
 
 
 def _site_violation_round(state: dict, witness) -> tuple[dict, tuple[float, float, int]]:
-    """Round 3, site side: measure local violators, remember their positions."""
+    """Round 3, site side: measure local violators, remember their positions.
+
+    One fused kernel sweep per site: the violation mask, the violator count,
+    and the violated-weight sum come out of a single blocked pass over the
+    site's local constraints (no full margin temporaries).
+    """
     idx = state["local_indices"]
     if idx.size == 0:
         state["pending"] = np.empty(0, dtype=int)
         return state, (0.0, 0.0, 0)
-    mask = state["problem"].violation_mask(witness, idx)
-    positions = np.flatnonzero(mask)
     weights: ExplicitWeights = state["weights"]
-    site_total = float(np.exp(weights.total_weight_log()))
-    violator_weight = weights.fraction(positions) * site_total
-    state["pending"] = positions
-    return state, (violator_weight, site_total, int(positions.size))
+    with kernels.use_backend(state.get("kernel")):
+        stats = state["problem"].violation_sweep(
+            witness, idx, weights=weights.weights(), need_total=False
+        )
+        site_total = float(np.exp(weights.total_weight_log()))
+        violator_weight = (stats.violated_weight / weights.scaled_total) * site_total
+    state["pending"] = np.flatnonzero(stats.mask)
+    return state, (float(violator_weight), site_total, int(stats.count))
 
 
 def _site_ship_all(state: dict) -> tuple[dict, ConstraintBlock]:
@@ -150,11 +159,13 @@ class _CoordinatorState:
         topology: StarTopology | TreeTopology,
         oracle: ViolationOracle,
         gen: np.random.Generator,
+        kernel_backend: str | None = None,
     ) -> None:
         self.problem = problem
         self.topology = topology
         self.oracle = oracle
         self.gen = gen
+        self.kernel_backend = kernel_backend
         self.num_sites = topology.num_sites
         self.site_sizes: list[int] = []
         # Whether the previous iteration succeeded (sites then apply the
@@ -192,6 +203,7 @@ class _CoordinatorState:
                     "weights": weights,
                     "rng": site_rngs[site_id],
                     "pending": None,
+                    "kernel": self.kernel_backend,
                 },
             )
 
@@ -331,21 +343,24 @@ def _coordinator_clarkson_solve(
 
     sample_size, epsilon = resolve_sampling(problem, params)
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
+    backend = kernels.resolve_backend_name(params.kernel_backend)
 
     state = _CoordinatorState(
         problem=problem,
         topology=net,
         oracle=ViolationOracle(problem),
         gen=gen,
+        kernel_backend=backend,
     )
     warm_exponents = None
     if warm_witnesses:
         # One vectorised sweep recovers the carried weight state; in a real
         # deployment each site would evaluate its own slice against the
         # bases it already holds from the prior run's broadcasts.
-        warm_exponents = state.oracle.count_matrix(
-            warm_witnesses, problem.all_indices()
-        )
+        with kernels.use_backend(backend):
+            warm_exponents = state.oracle.count_matrix(
+                warm_witnesses, problem.all_indices()
+            )
     try:
         state.install_sites(partition, boost, warm_exponents=warm_exponents)
 
@@ -356,7 +371,8 @@ def _coordinator_clarkson_solve(
             blocks = net.run_all(_site_ship_all, [()] * net.num_sites)
             net.gather_up(blocks)
             net.end_round()
-            result = solve_small_problem(problem)
+            with kernels.use_backend(backend):
+                result = solve_small_problem(problem)
             result.resources.rounds = net.rounds
             result.resources.total_communication_bits = net.total_bits
             result.resources.max_message_bits = net.max_message_bits
@@ -370,6 +386,7 @@ def _coordinator_clarkson_solve(
                     "k": net.num_sites,
                     "topology": topology,
                     "transport": net.transport.name,
+                    "kernel_backend": backend,
                 }
             )
             result.warm = _warm_stats(warm_witnesses, [])
@@ -388,7 +405,8 @@ def _coordinator_clarkson_solve(
                 basis_cache=params.basis_cache,
             ),
         )
-        outcome = engine.run()
+        with kernels.use_backend(backend):
+            outcome = engine.run()
     finally:
         net.close()
 
@@ -420,6 +438,7 @@ def _coordinator_clarkson_solve(
             "boost": boost,
             "topology": topology,
             "transport": net.transport.name,
+            "kernel_backend": backend,
         },
         warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )

@@ -43,6 +43,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..core.accounting import BitCostModel
 from ..core.clarkson import (
     ClarksonParameters,
@@ -110,9 +111,10 @@ def _machine_weights(state: dict) -> tuple[np.ndarray, np.ndarray]:
     """
     version = len(state["witnesses"])
     if state.get("weights_version") != version:
-        exponents = state["problem"].violation_count_matrix(
-            state["witnesses"], state["local_indices"]
-        )
+        with kernels.use_backend(state.get("kernel")):
+            exponents = state["problem"].violation_count_matrix(
+                state["witnesses"], state["local_indices"]
+            )
         relative = (exponents - version).astype(float)
         state["log_weights"] = relative * float(np.log(state["boost"]))
         state["weights"] = state["boost"] ** relative
@@ -140,7 +142,8 @@ def _machine_sample(
     draws = min(draws, int(state["local_indices"].size))
     if draws == 0:
         return state, None
-    chosen_positions = gumbel_top_k(log_weights, draws, rng=state["rng"])
+    with kernels.use_backend(state.get("kernel")):
+        chosen_positions = gumbel_top_k(log_weights, draws, rng=state["rng"])
     chosen = state["local_indices"][chosen_positions]
     return state, ConstraintBlock(
         indices=chosen, rows=constraint_rows(state["problem"], chosen)
@@ -148,12 +151,19 @@ def _machine_sample(
 
 
 def _machine_stats(state: dict, witness) -> tuple[dict, tuple[float, int]]:
-    """Violator weight and count of this machine against one witness."""
+    """Violator weight and count of this machine against one witness.
+
+    One fused kernel sweep per machine: mask, count, and violated-weight sum
+    come out of a single blocked pass over the machine's local constraints.
+    """
     if state["local_indices"].size == 0:
         return state, (0.0, 0)
     weights, _ = _machine_weights(state)
-    mask = state["problem"].violation_mask(witness, state["local_indices"])
-    return state, (float(weights[mask].sum()), int(mask.sum()))
+    with kernels.use_backend(state.get("kernel")):
+        stats = state["problem"].violation_sweep(
+            witness, state["local_indices"], weights=weights, need_total=False
+        )
+    return state, (float(stats.violated_weight), int(stats.count))
 
 
 def _machine_store_witness(state: dict, witness) -> tuple[dict, None]:
@@ -174,6 +184,7 @@ class _MPCState:
         fanout: int,
         gen: np.random.Generator,
         warm_witnesses: Sequence | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         self.problem = problem
         self.topology = topology
@@ -181,6 +192,7 @@ class _MPCState:
         self.boost = boost
         self.fanout = fanout
         self.gen = gen
+        self.kernel_backend = kernel_backend
         self.machine_sizes: list[int] = []
         self.total_weight = 0.0
         # Warm re-solves (session API) seed every machine's stored bases
@@ -206,6 +218,7 @@ class _MPCState:
                     "witnesses": list(self.warm_witnesses),
                     "boost": self.boost,
                     "weights_version": -1,
+                    "kernel": self.kernel_backend,
                 },
             )
 
@@ -357,6 +370,7 @@ def _mpc_clarkson_solve(
 
     sample_size, epsilon = resolve_sampling(problem, params)
     boost = params.boost if params.boost is not None else boost_factor(n, params.r)
+    backend = kernels.resolve_backend_name(params.kernel_backend)
 
     state = _MPCState(
         problem=problem,
@@ -366,6 +380,7 @@ def _mpc_clarkson_solve(
         fanout=fanout,
         gen=gen,
         warm_witnesses=warm_witnesses,
+        kernel_backend=backend,
     )
     try:
         state.install_machines(partition)
@@ -384,7 +399,8 @@ def _mpc_clarkson_solve(
                     ),
                     fanout,
                 )
-            result = solve_small_problem(problem)
+            with kernels.use_backend(backend):
+                result = solve_small_problem(problem)
             result.resources.rounds = topology.rounds
             result.resources.max_machine_load_bits = topology.max_load_bits
             result.resources.total_communication_bits = topology.total_bits
@@ -397,6 +413,7 @@ def _mpc_clarkson_solve(
                     "delta": delta,
                     "k": topology.num_machines,
                     "transport": topology.transport.name,
+                    "kernel_backend": backend,
                 }
             )
             result.warm = _warm_stats(warm_witnesses, [])
@@ -415,7 +432,8 @@ def _mpc_clarkson_solve(
                 basis_cache=params.basis_cache,
             ),
         )
-        outcome = engine.run()
+        with kernels.use_backend(backend):
+            outcome = engine.run()
     finally:
         topology.close()
 
@@ -448,6 +466,7 @@ def _mpc_clarkson_solve(
             "boost": boost,
             "fanout": fanout,
             "transport": topology.transport.name,
+            "kernel_backend": backend,
         },
         warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )

@@ -49,6 +49,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..core.clarkson import (
     ClarksonParameters,
     _warm_stats,
@@ -107,33 +108,43 @@ def _reader_sampling_pass(state: dict, sample_size: int) -> tuple[dict, np.ndarr
     """
     best_keys = np.empty(0, dtype=float)
     best_items = np.empty(0, dtype=int)
-    for chunk in StreamTopology.iter_chunks(state["order"], _CHUNK_ITEMS):
-        weights = _chunk_weights(state, chunk)
-        keys = exponential_keys(weights, rng=state["rng"])
-        cand_keys = np.concatenate([best_keys, keys])
-        cand_items = np.concatenate([best_items, chunk])
-        if cand_keys.size > sample_size:
-            top = np.argpartition(cand_keys, cand_keys.size - sample_size)
-            top = top[cand_keys.size - sample_size:]
-            best_keys, best_items = cand_keys[top], cand_items[top]
-        else:
-            best_keys, best_items = cand_keys, cand_items
+    with kernels.use_backend(state.get("kernel")):
+        for chunk in StreamTopology.iter_chunks(state["order"], _CHUNK_ITEMS):
+            weights = _chunk_weights(state, chunk)
+            keys = exponential_keys(weights, rng=state["rng"])
+            cand_keys = np.concatenate([best_keys, keys])
+            cand_items = np.concatenate([best_items, chunk])
+            if cand_keys.size > sample_size:
+                top = np.argpartition(cand_keys, cand_keys.size - sample_size)
+                top = top[cand_keys.size - sample_size:]
+                best_keys, best_items = cand_keys[top], cand_items[top]
+            else:
+                best_keys, best_items = cand_keys, cand_items
     return state, np.sort(best_items)
 
 
 def _reader_verification_pass(
     state: dict, witness
 ) -> tuple[dict, tuple[float, float, int]]:
-    """One verification pass: violator weight / total weight / violator count."""
+    """One verification pass: violator weight / total weight / violator count.
+
+    Each chunk is one fused kernel sweep (mask, violator count, violated and
+    total weight in a single blocked pass); the reader node's state carries
+    the kernel backend name so a process-transport worker executes on the
+    same backend the coordinator resolved.
+    """
     violator_count = 0
     violator_weight = 0.0
     total_weight = 0.0
-    for chunk in StreamTopology.iter_chunks(state["order"], _CHUNK_ITEMS):
-        weights = _chunk_weights(state, chunk)
-        mask = state["problem"].violation_mask(witness, chunk)
-        total_weight += float(weights.sum())
-        violator_weight += float(weights[mask].sum())
-        violator_count += int(mask.sum())
+    with kernels.use_backend(state.get("kernel")):
+        for chunk in StreamTopology.iter_chunks(state["order"], _CHUNK_ITEMS):
+            weights = _chunk_weights(state, chunk)
+            stats = state["problem"].violation_sweep(
+                witness, chunk, weights=weights, need_total=True
+            )
+            total_weight += float(stats.total_weight)
+            violator_weight += float(stats.violated_weight)
+            violator_count += int(stats.count)
     return state, (violator_weight, total_weight, violator_count)
 
 
@@ -155,6 +166,7 @@ class _StreamingState:
         boost: float,
         rng: np.random.Generator,
         warm_witnesses: Sequence | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         self.problem = problem
         self.topology = topology
@@ -180,6 +192,7 @@ class _StreamingState:
                 "rng": rng,
                 "witnesses": warm,
                 "boost": boost,
+                "kernel": kernel_backend,
             },
         )
 
@@ -259,50 +272,59 @@ def _streaming_clarkson_solve(
     memory = StreamingMemory()
     bit_size = problem.bit_size()
 
-    sample_size, epsilon = resolve_sampling(problem, params)
-    if sample_size >= n:
-        # The sample would contain the whole stream: one pass, full storage.
-        topology.record_pass()
-        result = solve_small_problem(problem)
-        result.resources.passes = topology.passes
-        result.resources.space_peak_items = n
-        result.resources.space_peak_bits = n * bit_size
-        result.resources.per_round = topology.ledger.as_table()
-        result.metadata.update({"algorithm": "streaming_clarkson", "r": params.r})
-        result.warm = _warm_stats(warm_witnesses, [])
-        return result
+    backend = kernels.resolve_backend_name(params.kernel_backend)
+    with kernels.use_backend(backend):
+        sample_size, epsilon = resolve_sampling(problem, params)
+        if sample_size >= n:
+            # The sample would contain the whole stream: one pass, full storage.
+            topology.record_pass()
+            result = solve_small_problem(problem)
+            result.resources.passes = topology.passes
+            result.resources.space_peak_items = n
+            result.resources.space_peak_bits = n * bit_size
+            result.resources.per_round = topology.ledger.as_table()
+            result.metadata.update(
+                {
+                    "algorithm": "streaming_clarkson",
+                    "r": params.r,
+                    "kernel_backend": backend,
+                }
+            )
+            result.warm = _warm_stats(warm_witnesses, [])
+            return result
 
-    boost = params.boost if params.boost is not None else boost_factor(n, params.r)
-    try:
-        # State installation already talks to the transport (sharing the
-        # problem, shipping the reader state), so it runs inside the same
-        # try/finally that guarantees topology.close() — a run-private
-        # process pool must not leak when installation fails.
-        state = _StreamingState(
-            problem=problem,
-            topology=topology,
-            memory=memory,
-            oracle=ViolationOracle(problem),
-            boost=boost,
-            rng=gen,
-            warm_witnesses=warm_witnesses,
-        )
-        engine = ClarksonEngine(
-            problem=problem,
-            sampler=ReservoirPassSampling(state),
-            substrate=ImplicitStreamSubstrate(state),
-            config=EngineConfig(
-                sample_size=sample_size,
-                epsilon=epsilon,
-                budget=iteration_budget(problem, params.r, params.max_iterations),
-                keep_trace=params.keep_trace,
-                name="streaming Clarkson",
-                basis_cache=params.basis_cache,
-            ),
-        )
-        outcome = engine.run()
-    finally:
-        topology.close()
+        boost = params.boost if params.boost is not None else boost_factor(n, params.r)
+        try:
+            # State installation already talks to the transport (sharing the
+            # problem, shipping the reader state), so it runs inside the same
+            # try/finally that guarantees topology.close() — a run-private
+            # process pool must not leak when installation fails.
+            state = _StreamingState(
+                problem=problem,
+                topology=topology,
+                memory=memory,
+                oracle=ViolationOracle(problem),
+                boost=boost,
+                rng=gen,
+                warm_witnesses=warm_witnesses,
+                kernel_backend=backend,
+            )
+            engine = ClarksonEngine(
+                problem=problem,
+                sampler=ReservoirPassSampling(state),
+                substrate=ImplicitStreamSubstrate(state),
+                config=EngineConfig(
+                    sample_size=sample_size,
+                    epsilon=epsilon,
+                    budget=iteration_budget(problem, params.r, params.max_iterations),
+                    keep_trace=params.keep_trace,
+                    name="streaming Clarkson",
+                    basis_cache=params.basis_cache,
+                ),
+            )
+            outcome = engine.run()
+        finally:
+            topology.close()
 
     resources = ResourceUsage(
         passes=topology.passes,
@@ -329,6 +351,7 @@ def _streaming_clarkson_solve(
             "boost": boost,
             "stored_bases": state.num_bases,
             "transport": topology.transport.name,
+            "kernel_backend": backend,
         },
         warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )

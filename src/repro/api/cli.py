@@ -204,7 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help=(
             "run the canonical perf suite (every argument after 'bench' is "
-            "forwarded to benchmarks/run_suite.py verbatim)"
+            "forwarded to benchmarks/run_suite.py verbatim; e.g. "
+            "'bench --tier xlarge --backends numpy fused', or "
+            "'bench --history' to print the checked-in snapshot geomeans "
+            "per tier and kernel backend)"
         ),
     )
     return parser

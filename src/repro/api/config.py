@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
+from .. import kernels
 from ..core.accounting import BitCostModel
 from ..core.clarkson import ClarksonParameters, practical_parameters
 from ..core.exceptions import InvalidConfigError
@@ -135,6 +136,14 @@ class SolverConfig:
         Explicit eps-net sample size override (``>= 1``).
     success_threshold:
         Explicit success-test threshold on ``w(V)/w(S)`` (in ``(0, 1)``).
+    kernel_backend:
+        Kernel backend the run executes on: one of
+        :data:`repro.kernels.KNOWN_KERNEL_BACKENDS` (``"numpy"``, ``"fused"``,
+        ``"fused64"``, ``"numba"``).  ``None`` (default) defers to the
+        ``REPRO_KERNEL_BACKEND`` environment variable and then the registry
+        default.  A known backend whose import dependency is missing
+        (``"numba"`` without numba installed) falls back to ``"numpy"`` at
+        solve time with a one-time warning.
     """
 
     r: int = 2
@@ -147,6 +156,7 @@ class SolverConfig:
     basis_cache: bool = True
     sample_size: Optional[int] = None
     success_threshold: Optional[float] = None
+    kernel_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         self._check(self.r >= 1, "r", "must be >= 1", self.r)
@@ -172,6 +182,16 @@ class SolverConfig:
                 "must lie in (0, 1)",
                 self.success_threshold,
             )
+        if self.kernel_backend is not None:
+            # Validate against the *known* names, not the registered ones:
+            # "numba" is a legal config on any machine, availability is
+            # resolved (with a numpy fallback) at solve time.
+            self._check(
+                self.kernel_backend in kernels.KNOWN_KERNEL_BACKENDS,
+                "kernel_backend",
+                f"must be one of {kernels.KNOWN_KERNEL_BACKENDS}",
+                self.kernel_backend,
+            )
 
     def _check(self, condition: bool, field_name: str, message: str, value: Any) -> None:
         """Raise :class:`InvalidConfigError` naming the offending field."""
@@ -192,6 +212,7 @@ class SolverConfig:
             basis_cache=self.basis_cache,
             sample_size=self.sample_size,
             success_threshold=self.success_threshold,
+            kernel_backend=self.kernel_backend,
         )
 
     @classmethod

@@ -44,6 +44,7 @@ import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
+from .. import kernels
 from ..core.exceptions import RegistryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -325,6 +326,7 @@ def describe_model(name: str) -> Mapping[str, Any]:
         "replaces": spec.replaces,
         "transports": list(spec.transports),
         "capabilities": list(spec.capabilities),
+        "kernel_backends": list(kernels.available_backends()),
         "session": spec.session_spec.as_dict(),
     }
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import kernels
 from .engine import (
     ClarksonEngine,
     EngineConfig,
@@ -75,6 +76,10 @@ class ClarksonParameters:
     success_threshold:
         Explicit success-test threshold on ``w(V)/w(S)``.  ``None`` uses the
         paper's ``epsilon = 1/(10 nu n^{1/r})``.
+    kernel_backend:
+        Kernel backend the run executes on (``None`` defers to
+        ``REPRO_KERNEL_BACKEND`` and then the registry default; see
+        :mod:`repro.kernels`).
     """
 
     r: int = 2
@@ -86,6 +91,7 @@ class ClarksonParameters:
     basis_cache: bool = True
     sample_size: Optional[int] = None
     success_threshold: Optional[float] = None
+    kernel_backend: Optional[str] = None
 
 
 def resolve_sampling(
@@ -213,38 +219,41 @@ def _clarkson_solve(
     if n == 0:
         raise ValueError("problem has no constraints")
 
-    sample_size, epsilon = resolve_sampling(problem, params)
-    if sample_size >= n:
-        # The eps-net would contain every constraint; solve directly.
-        result = solve_small_problem(problem)
-        result.metadata.update({"r": params.r, "sample_size": sample_size})
-        result.warm = _warm_stats(warm_witnesses, [])
-        return result
+    with kernels.use_backend(params.kernel_backend) as backend:
+        sample_size, epsilon = resolve_sampling(problem, params)
+        if sample_size >= n:
+            # The eps-net would contain every constraint; solve directly.
+            result = solve_small_problem(problem)
+            result.metadata.update(
+                {"r": params.r, "sample_size": sample_size, "kernel_backend": backend}
+            )
+            result.warm = _warm_stats(warm_witnesses, [])
+            return result
 
-    boost = params.boost if params.boost is not None else boost_factor(n, params.r)
-    oracle = ViolationOracle(problem)
-    if warm_witnesses:
-        # One vectorised sweep recovers the carried weight state (counted
-        # against the oracle like any other violation evaluation).
-        exponents = oracle.count_matrix(warm_witnesses, problem.all_indices())
-        weights = ExplicitWeights.from_exponents(exponents, boost)
-    else:
-        weights = ExplicitWeights.uniform(n, boost)
-    substrate = ExplicitWeightSubstrate(problem, weights, oracle=oracle)
-    engine = ClarksonEngine(
-        problem=problem,
-        sampler=InMemorySampling(weights, gen),
-        substrate=substrate,
-        config=EngineConfig(
-            sample_size=sample_size,
-            epsilon=epsilon,
-            budget=iteration_budget(problem, params.r, params.max_iterations),
-            keep_trace=params.keep_trace,
-            name="Algorithm 1",
-            basis_cache=params.basis_cache,
-        ),
-    )
-    outcome = engine.run()
+        boost = params.boost if params.boost is not None else boost_factor(n, params.r)
+        oracle = ViolationOracle(problem)
+        if warm_witnesses:
+            # One vectorised sweep recovers the carried weight state (counted
+            # against the oracle like any other violation evaluation).
+            exponents = oracle.count_matrix(warm_witnesses, problem.all_indices())
+            weights = ExplicitWeights.from_exponents(exponents, boost)
+        else:
+            weights = ExplicitWeights.uniform(n, boost)
+        substrate = ExplicitWeightSubstrate(problem, weights, oracle=oracle)
+        engine = ClarksonEngine(
+            problem=problem,
+            sampler=InMemorySampling(weights, gen),
+            substrate=substrate,
+            config=EngineConfig(
+                sample_size=sample_size,
+                epsilon=epsilon,
+                budget=iteration_budget(problem, params.r, params.max_iterations),
+                keep_trace=params.keep_trace,
+                name="Algorithm 1",
+                basis_cache=params.basis_cache,
+            ),
+        )
+        outcome = engine.run()
 
     return SolveResult(
         value=outcome.basis.value,
@@ -265,6 +274,7 @@ def _clarkson_solve(
             "epsilon": epsilon,
             "sample_size": sample_size,
             "boost": boost,
+            "kernel_backend": backend,
         },
         warm=_warm_stats(warm_witnesses, outcome.successful_witnesses),
     )

@@ -114,6 +114,34 @@ class ViolationOracle:
         self._count(indices)
         return self.problem.violation_mask(witness, indices)
 
+    def sweep(
+        self,
+        witness: Any,
+        indices: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+        need_total: bool = True,
+        log_weights: Optional[np.ndarray] = None,
+        log_shift: float = 0.0,
+    ):
+        """One fused violation sweep (mask + count + weight sums) over ``indices``.
+
+        ``indices=None`` sweeps the full constraint set.  Counts as one
+        oracle call touching every swept constraint, exactly like
+        :meth:`violating` did on the same index set.
+        """
+        self.calls += 1
+        self.constraints_tested += (
+            self.problem.num_constraints if indices is None else int(len(indices))
+        )
+        return self.problem.violation_sweep(
+            witness,
+            indices,
+            weights=weights,
+            need_total=need_total,
+            log_weights=log_weights,
+            log_shift=log_shift,
+        )
+
     def violating(self, witness: Any, indices: np.ndarray) -> np.ndarray:
         """Violating indices among ``indices`` (ascending)."""
         self._count(indices)
@@ -158,14 +186,15 @@ class BasisCache:
         self._entries: dict[bytes, BasisResult] = {}
 
     @staticmethod
-    def _digest(key: tuple[int, ...]) -> bytes:
+    def _digest(key) -> bytes:
+        """Digest a sorted index collection (tuple or int ndarray)."""
         payload = np.asarray(key, dtype=np.int64).tobytes()
         return hashlib.blake2b(payload, digest_size=16).digest()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: tuple[int, ...]) -> BasisResult | None:
+    def get(self, key) -> BasisResult | None:
         entry = self._entries.get(self._digest(key))
         if entry is None:
             self.misses += 1
@@ -173,17 +202,19 @@ class BasisCache:
             self.hits += 1
         return entry
 
-    def put(self, key: tuple[int, ...], basis: BasisResult) -> None:
+    def put(self, key, basis: BasisResult) -> None:
         digest = self._digest(key)
         if digest not in self._entries and len(self._entries) >= self.capacity:
             self._entries.pop(next(iter(self._entries)))
         self._entries[digest] = basis
 
-    def record(self, key: tuple[int, ...], basis: BasisResult) -> None:
+    def record(self, key, basis: BasisResult) -> None:
         """Store a solved sample and seed the entry for its own basis."""
         self.put(key, basis)
         basis_key = tuple(sorted(int(i) for i in basis.indices))
-        if basis_key and basis_key != key:
+        if basis_key and (
+            len(basis_key) != len(key) or self._digest(basis_key) != self._digest(key)
+        ):
             self.put(
                 basis_key,
                 BasisResult(
@@ -307,7 +338,9 @@ class ClarksonEngine:
         cache = self.basis_cache
         if cache is None:
             return self.problem.solve_subset(sample)
-        key = tuple(sorted(int(i) for i in sample))
+        # The digest works on the raw int64 array — building a Python tuple
+        # of a 10^4-element sample costs more than the subset solve's setup.
+        key = np.sort(np.asarray(sample, dtype=np.int64))
         basis = cache.get(key)
         if basis is None:
             basis = self.problem.solve_subset(sample)
@@ -414,17 +447,35 @@ class ExplicitWeightSubstrate(WeightSubstrate):
         self.peak_items = 0
 
     def measure(self, sample: np.ndarray, basis: BasisResult) -> ViolationStats:
-        violators = self.oracle.violating(basis.witness, self._all_indices)
+        # One fused sweep replaces the historical mask -> sort-indices ->
+        # gather-weights -> sum sequence.  Weights go in as logs plus the
+        # max shift: blocked backends exponentiate cache-resident blocks
+        # inside the sweep, so no full scaled vector is ever materialised
+        # on the per-iteration path; the violated/total ratio equals
+        # ``weights.fraction`` of the violator set.
+        log_weights = self.weights.log_weights
+        stats = self.oracle.sweep(
+            basis.witness,
+            None,
+            need_total=True,
+            log_weights=log_weights,
+            log_shift=float(log_weights.max()),
+        )
         self.peak_items = max(
             self.peak_items,
             len(sample) + (self._boosts + 1) * self.problem.combinatorial_dimension,
         )
+        fraction = (
+            stats.violated_weight / stats.total_weight if stats.count else 0.0
+        )
         return ViolationStats(
-            num_violators=int(violators.size),
-            weight_fraction=self.weights.fraction(violators),
-            context=violators,
+            num_violators=int(stats.count),
+            weight_fraction=float(fraction),
+            context=stats.mask,
         )
 
     def boost(self, stats: ViolationStats) -> None:
-        self.weights.multiply(stats.context)
+        # ``context`` is the violation mask; materialise indices only on the
+        # (success) iterations that actually boost.
+        self.weights.multiply(np.flatnonzero(stats.context))
         self._boosts += 1

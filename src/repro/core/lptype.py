@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
+from .. import kernels
 from .exceptions import SolverError
 
 __all__ = [
@@ -41,10 +42,51 @@ __all__ = [
 
 
 def as_index_array(indices: Iterable[int]) -> np.ndarray:
-    """Coerce any iterable of constraint indices to a 1-d int array."""
+    """Coerce any iterable of constraint indices to a 1-d int array.
+
+    Integer ndarrays pass through untouched (no copy, no Python-list round
+    trip — this runs on every oracle call, with arrays of up to ``n``
+    entries); other array-likes (lists, ranges) convert directly, and only
+    opaque iterables (generators, sets) take the materialising fallback.
+    """
     if isinstance(indices, np.ndarray):
-        return indices.astype(int, copy=False).reshape(-1)
-    return np.asarray(list(indices), dtype=int).reshape(-1)
+        if indices.ndim != 1:
+            indices = indices.reshape(-1)
+        if indices.dtype == np.int64 or indices.dtype == np.intp:
+            return indices
+        return indices.astype(int, copy=False)
+    try:
+        arr = np.asarray(indices, dtype=int)
+    except (TypeError, ValueError):
+        arr = np.asarray(list(indices), dtype=int)
+    return arr.reshape(-1)
+
+
+def _as_selector(
+    indices: Optional[Iterable[int]], num_constraints: int
+) -> None | slice | np.ndarray:
+    """Normalise an index argument to a kernel-layer selector.
+
+    ``None`` means all rows.  A contiguous ascending range becomes a
+    ``slice`` — the kernels then take views instead of gather copies (the
+    coordinator/MPC site partitions and the full-index arrays of the
+    sequential substrate are all contiguous).  Anything else stays a fancy
+    index array.  The strict-ascent verification is one cheap boolean pass,
+    entered only when the endpoints already match a contiguous range.
+    """
+    if indices is None:
+        return None
+    idx = as_index_array(indices)
+    size = idx.size
+    if size == 0:
+        return idx
+    first = int(idx[0])
+    last = int(idx[-1])
+    if last - first == size - 1 and (size <= 2 or bool((idx[1:] > idx[:-1]).all())):
+        if first == 0 and size == num_constraints:
+            return None
+        return slice(first, last + 1)
+    return idx
 
 
 #: Sentinel distinguishing "pack not built yet" from "problem has no pack".
@@ -98,7 +140,7 @@ class ConstraintPack:
     no per-constraint Python objects, no per-call scale recomputation.
     """
 
-    __slots__ = ("rows", "rhs", "limit", "sense")
+    __slots__ = ("rows", "rhs", "limit", "sense", "_kernel_cache")
 
     def __init__(
         self,
@@ -126,6 +168,7 @@ class ConstraintPack:
         if sense not in (1, -1):
             raise ValueError(f"sense must be +1 or -1, got {sense}")
         self.sense = int(sense)
+        self._kernel_cache: Optional[dict] = None
 
     @property
     def num_constraints(self) -> int:
@@ -135,29 +178,65 @@ class ConstraintPack:
     def num_coefficients(self) -> int:
         return int(self.rows.shape[1])
 
+    def kernel_cache(self) -> dict:
+        """Scratch dict for backend-owned per-pack precomputations.
+
+        The ``fused`` backend stashes its float32 mirrors here so they are
+        built once per pack, not once per sweep.  The cache is keyed by the
+        backend and carries derived data only — the pack arrays themselves
+        stay the single source of truth.
+        """
+        if self._kernel_cache is None:
+            self._kernel_cache = {}
+        return self._kernel_cache
+
     def scores(
         self, encoded: tuple[np.ndarray, float], indices: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """Violation scores over ``indices``: positive iff violated.
 
         The magnitude is the tolerance-adjusted slack, so sorting by score
-        ranks constraints by how badly the witness breaks them.
+        ranks constraints by how badly the witness breaks them.  Always
+        evaluated in full float64 (working-set growth ranks on these scores,
+        so their order must not depend on the backend's precision mode).
         """
-        vec, offset = encoded
-        if indices is None:
-            rows, rhs, limit = self.rows, self.rhs, self.limit
-        else:
-            rows, rhs, limit = self.rows[indices], self.rhs[indices], self.limit[indices]
-        margins = rows @ np.asarray(vec, dtype=np.float64) + (float(offset) - rhs)
-        if self.sense < 0:
-            margins = -margins
-        return margins - limit
+        sel = _as_selector(indices, self.num_constraints)
+        return kernels.active_backend().scores(self, encoded, sel)
 
     def mask(
         self, encoded: tuple[np.ndarray, float], indices: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """Boolean violation mask over ``indices`` for one encoded witness."""
-        return self.scores(encoded, indices) > 0.0
+        return self.sweep(encoded, indices, need_total=False).mask
+
+    def sweep(
+        self,
+        encoded: tuple[np.ndarray, float],
+        indices: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+        need_total: bool = True,
+        log_weights: Optional[np.ndarray] = None,
+        log_shift: float = 0.0,
+    ) -> "kernels.SweepStats":
+        """One fused pass: violation mask, count, and weight sums.
+
+        ``weights`` must be aligned with ``indices`` (or with all rows when
+        ``indices`` is ``None``).  ``log_weights``/``log_shift`` is the
+        log-space alternative (effective weight ``exp(lw - shift)``) that
+        lets blocked backends exponentiate inside the sweep.  This is the
+        hot success-test primitive: backends evaluate it without
+        materialising full margin temporaries.
+        """
+        sel = _as_selector(indices, self.num_constraints)
+        return kernels.active_backend().sweep(
+            self,
+            encoded,
+            sel,
+            weights=weights,
+            need_total=need_total,
+            log_weights=log_weights,
+            log_shift=log_shift,
+        )
 
     def count_matrix(
         self,
@@ -165,18 +244,13 @@ class ConstraintPack:
         indices: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Per-constraint count of violated witnesses, one matrix product."""
-        if indices is None:
-            rows, rhs, limit = self.rows, self.rhs, self.limit
-        else:
-            rows, rhs, limit = self.rows[indices], self.rhs[indices], self.limit[indices]
+        sel = _as_selector(indices, self.num_constraints)
         if not encodings:
-            return np.zeros(rows.shape[0], dtype=np.int64)
+            n = kernels.selector_length(sel, self.num_constraints)
+            return np.zeros(n, dtype=np.int64)
         vecs = np.stack([np.asarray(v, dtype=np.float64) for v, _ in encodings], axis=1)
         offsets = np.asarray([float(o) for _, o in encodings], dtype=np.float64)
-        margins = rows @ vecs + (offsets[None, :] - rhs[:, None])
-        if self.sense < 0:
-            margins = -margins
-        return (margins > limit[:, None]).sum(axis=1).astype(np.int64)
+        return kernels.active_backend().count_matrix(self, vecs, offsets, sel)
 
 
 class LPTypeProblem(abc.ABC):
@@ -274,29 +348,90 @@ class LPTypeProblem(abc.ABC):
     # Derived helpers (pack-backed; scalar fallback via ``violates``)
     # ------------------------------------------------------------------ #
 
-    def violation_mask(self, witness: Any, indices: Iterable[int]) -> np.ndarray:
+    def violation_mask(
+        self, witness: Any, indices: Optional[Iterable[int]] = None
+    ) -> np.ndarray:
         """Boolean mask over ``indices``: entry ``j`` is ``True`` iff
         ``indices[j]`` is violated at ``witness``.
 
-        Evaluated against the packed data plane when the problem provides
-        one (a single matmul plus comparison — this is the hot path of every
-        driver's success test); otherwise falls back to scalar
+        ``indices=None`` means the full constraint set (without building an
+        index array).  Evaluated against the packed data plane when the
+        problem provides one (a single fused sweep — this is the hot path of
+        every driver's success test); otherwise falls back to scalar
         :meth:`violates` calls.
         """
-        idx = as_index_array(indices)
-        if idx.size == 0 or witness is None:
-            return np.zeros(idx.size, dtype=bool)
+        return self.violation_sweep(witness, indices, need_total=False).mask
+
+    def violation_sweep(
+        self,
+        witness: Any,
+        indices: Optional[Iterable[int]] = None,
+        weights: Optional[np.ndarray] = None,
+        need_total: bool = True,
+        log_weights: Optional[np.ndarray] = None,
+        log_shift: float = 0.0,
+    ) -> "kernels.SweepStats":
+        """One fused violation sweep: mask, violator count, and weight sums.
+
+        The kernel-layer success-test primitive (``sweep_scores_mask_accum``):
+        one blocked pass over the selected constraints produces the violation
+        mask, the violator count, and the violated-weight sum (plus the total
+        weight unless ``need_total=False``), replacing the historical
+        mask-then-index-then-sum sequence.  ``weights`` must align with
+        ``indices``; ``log_weights``/``log_shift`` is the log-space
+        alternative (effective weight ``exp(lw - shift)``), which blocked
+        backends exponentiate inside the sweep.  Problems without a packed
+        data plane fall back to the scalar :meth:`violates` loop plus NumPy
+        reductions.
+        """
+        idx = None if indices is None else as_index_array(indices)
+        size = self.num_constraints if idx is None else int(idx.size)
+        if size == 0 or witness is None:
+            mask = np.zeros(size, dtype=bool)
+            total = None
+            if need_total:
+                if weights is None and log_weights is None:
+                    total = float(size)
+                elif weights is None:
+                    total = float(np.exp(np.asarray(log_weights) - log_shift).sum())
+                else:
+                    total = float(np.asarray(weights, dtype=float).sum())
+            return kernels.SweepStats(
+                mask=mask, count=0, violated_weight=0.0, total_weight=total
+            )
         pack = self.constraint_pack()
         if pack is not None:
             encoded = self.encode_witness(witness)
             if encoded is not None:
-                return pack.mask(encoded, idx)
-        return np.fromiter(
+                return pack.sweep(
+                    encoded,
+                    idx,
+                    weights=weights,
+                    need_total=need_total,
+                    log_weights=log_weights,
+                    log_shift=log_shift,
+                )
+        if log_weights is not None and weights is None:
+            weights = np.exp(np.asarray(log_weights, dtype=float) - log_shift)
+        if idx is None:
+            idx = self.all_indices()
+        mask = np.fromiter(
             (self.violates(witness, int(i)) for i in idx), dtype=bool, count=idx.size
+        )
+        count = int(np.count_nonzero(mask))
+        if weights is None:
+            violated = float(count)
+            total = float(mask.size) if need_total else None
+        else:
+            w = np.asarray(weights, dtype=float)
+            violated = float(w[mask].sum())
+            total = float(w.sum()) if need_total else None
+        return kernels.SweepStats(
+            mask=mask, count=count, violated_weight=violated, total_weight=total
         )
 
     def violation_count_matrix(
-        self, witnesses: Sequence[Any], indices: Iterable[int]
+        self, witnesses: Sequence[Any], indices: Optional[Iterable[int]] = None
     ) -> np.ndarray:
         """For each of ``indices``, the number of ``witnesses`` it violates.
 
@@ -306,16 +441,17 @@ class LPTypeProblem(abc.ABC):
         With a packed data plane all witnesses are evaluated in one matrix
         product; the fallback stacks :meth:`violation_mask` calls.
         """
-        idx = as_index_array(indices)
+        idx = None if indices is None else as_index_array(indices)
+        size = self.num_constraints if idx is None else int(idx.size)
         present = [w for w in witnesses if w is not None]
-        if not present or idx.size == 0:
-            return np.zeros(idx.size, dtype=np.int64)
+        if not present or size == 0:
+            return np.zeros(size, dtype=np.int64)
         pack = self.constraint_pack()
         if pack is not None:
             encodings = [self.encode_witness(w) for w in present]
             if all(e is not None for e in encodings):
                 return pack.count_matrix(encodings, idx)
-        counts = np.zeros(idx.size, dtype=np.int64)
+        counts = np.zeros(size, dtype=np.int64)
         for witness in present:
             counts += self.violation_mask(witness, idx)
         return counts

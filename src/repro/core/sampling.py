@@ -25,6 +25,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from .. import kernels
 from .rng import SeedLike, as_generator
 
 __all__ = [
@@ -136,18 +137,11 @@ def gumbel_top_k(
     arr = np.asarray(log_weights, dtype=float)
     if arr.ndim != 1:
         raise ValueError(f"log_weights must be one-dimensional, got shape {arr.shape}")
-    positive = np.flatnonzero(arr > -np.inf)
-    if positive.size == 0:
-        raise ValueError("total weight must be positive")
-    size = min(size, positive.size)
-    if size == 0:
-        return np.empty(0, dtype=int)
-    keys = gumbel_keys(arr[positive], rng=gen)
-    if size < positive.size:
-        top = np.argpartition(keys, positive.size - size)[positive.size - size :]
-    else:
-        top = np.arange(positive.size)
-    return np.sort(positive[top])
+    # The selection itself is a kernel-layer primitive: every backend draws
+    # the same uniform stream and returns bit-identical indices; the fused
+    # backend skips the positive-index gather when no zero weights exist and
+    # builds the keys in place.
+    return kernels.active_backend().gumbel_top_k(arr, int(size), gen)
 
 
 def weighted_sample_without_replacement(

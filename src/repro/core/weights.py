@@ -24,6 +24,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import kernels
+
 __all__ = ["ExplicitWeights", "ImplicitWeights", "boost_factor"]
 
 
@@ -95,11 +97,22 @@ class ExplicitWeights:
 
     def _scaled_weights(self) -> np.ndarray:
         if self._scaled is None:
-            shifted = self.log_weights - self.log_weights.max()
-            self._scaled = np.exp(shifted)
+            self._scaled = kernels.active_backend().exp_shift(
+                self.log_weights, float(self.log_weights.max())
+            )
             self._scaled.flags.writeable = False  # cached view: enforce read-only
             self._scaled_total = float(self._scaled.sum())
         return self._scaled
+
+    @property
+    def scaled_total(self) -> float:
+        """Sum of the max-normalised weight vector (:meth:`fraction`'s denominator).
+
+        Exposed so fused-sweep consumers can turn a violated-weight sum into
+        the success-test fraction without re-reducing the full vector.
+        """
+        self._scaled_weights()
+        return self._scaled_total
 
     def weights(self) -> np.ndarray:
         """The full weight vector, normalised to a maximum of 1 to avoid overflow.

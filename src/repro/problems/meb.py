@@ -22,11 +22,13 @@ ball of any subset is unique.
 from __future__ import annotations
 
 import functools
+import itertools
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
+from .. import kernels
 from ..core.exceptions import InvalidInstanceError
 from ..core.lptype import (
     BasisResult,
@@ -39,6 +41,11 @@ from ..core.rng import SeedLike, as_generator
 from .qp import minimize_convex_qp
 
 __all__ = ["Ball", "MEBValue", "MinimumEnclosingBall", "badoiu_clarkson_meb"]
+
+#: Largest working set handed to the exact batched-circumcentre solver; the
+#: number of candidate support subsets is ``sum_m C(k, m) < 2^k``, so this
+#: keeps one batch comfortably small while covering every basis-sized solve.
+_EXACT_SUBSET_LIMIT = 10
 
 
 @dataclass(frozen=True)
@@ -144,7 +151,11 @@ class MinimumEnclosingBall(LPTypeProblem):
                 indices=(int(idx[0]),), value=MEBValue(radius=0.0), witness=ball,
                 subset_size=1,
             )
-        ball = self._solve_qp(idx)
+        ball = None
+        if idx.size <= _EXACT_SUBSET_LIMIT:
+            ball = self._solve_small_exact(idx)
+        if ball is None:
+            ball = self._solve_qp(idx)
         basis = self._extract_basis(idx, ball)
         return BasisResult(
             indices=basis,
@@ -187,6 +198,56 @@ class MinimumEnclosingBall(LPTypeProblem):
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+
+    def _solve_small_exact(self, idx: np.ndarray) -> Optional[Ball]:
+        """Exact MEB of a tiny subset via batched circumcentre systems.
+
+        The optimal ball of ``k`` points is determined by a support subset of
+        2 to ``d + 1`` points whose circumcentre (the equidistant point in the
+        subset's affine hull) is the ball's centre.  All candidate subsets of
+        one size are solved in a single batched linear solve through the
+        active kernel backend: with ``q_i = p_i - p_0`` the circumcentre is
+        ``p_0 + lambda . q`` where ``(q q^T) lambda = ||q_i||^2 / 2``.  Each
+        candidate's radius is its centre's maximum distance over *all* subset
+        points, so garbage centres from non-support subsets are harmless
+        (their radius only over-encloses) and the minimum over candidates is
+        the exact optimum.  Returns ``None`` when every system is
+        near-singular (fully degenerate clouds fall back to the QP).
+        """
+        pts = self.points[idx]
+        k = int(idx.size)
+        backend = kernels.active_backend()
+        best_center: Optional[np.ndarray] = None
+        best_radius = np.inf
+        spread = float(np.abs(pts - pts[0]).max())
+        if spread == 0.0:
+            # All points coincide: a zero-radius ball, no system to solve.
+            return Ball(center=pts[0].copy(), radius=0.0)
+        for m in range(2, min(k, self.dimension + 1) + 1):
+            combos = np.asarray(
+                list(itertools.combinations(range(k), m)), dtype=int
+            )
+            base = pts[combos[:, 0]]
+            q = pts[combos[:, 1:]] - base[:, None, :]
+            gram = q @ np.transpose(q, (0, 2, 1))
+            rhs = 0.5 * np.einsum("bij,bij->bi", q, q)
+            # Scale-relative singularity filter: Gram entries are O(spread^2),
+            # so a well-conditioned determinant is O(spread^(2(m-1))).
+            ok = np.abs(np.linalg.det(gram)) > 1e-12 * spread ** (2 * (m - 1))
+            if not ok.any():
+                continue
+            lam = backend.solve_many(gram[ok], rhs[ok])
+            centers = base[ok] + np.einsum("bi,bij->bj", lam, q[ok])
+            radii = np.linalg.norm(
+                pts[None, :, :] - centers[:, None, :], axis=2
+            ).max(axis=1)
+            j = int(np.argmin(radii))
+            if float(radii[j]) < best_radius:
+                best_radius = float(radii[j])
+                best_center = centers[j]
+        if best_center is None:
+            return None
+        return Ball(center=best_center, radius=best_radius)
 
     def _solve_qp(self, idx: np.ndarray) -> Ball:
         """Solve the MEB QP over the points with the given indices."""

@@ -41,6 +41,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import kernels
 from ..core.exceptions import InfeasibleProblemError, SolverError
 from ..core.rng import SeedLike, as_generator
 
@@ -163,17 +164,19 @@ class _Frame:
 def _first_violator(frame: _Frame) -> int | None:
     """Index of the first constraint at or after ``pos`` violated at ``x``.
 
-    One matmul over the not-yet-inserted suffix per call — this is the
+    One kernel sweep over the not-yet-inserted suffix per call — this is the
     vectorised replacement for the per-constraint scan of the recursive
-    formulation.
+    formulation; the fused backend scans in blocks and exits at the first
+    violated block instead of materialising the whole suffix's slack.
     """
     if frame.pos >= frame.a.shape[0]:
         return None
-    slack = frame.a[frame.pos :] @ frame.x - frame.b[frame.pos :]
-    violated = slack > _EPS
-    if not violated.any():
+    hit = kernels.active_backend().first_violator(
+        frame.a[frame.pos :], frame.b[frame.pos :], frame.x, _EPS
+    )
+    if hit is None:
         return None
-    return frame.pos + int(np.argmax(violated))
+    return frame.pos + int(hit)
 
 
 def _reduced_child(frame: _Frame, index: int, gen: np.random.Generator) -> _Frame:

@@ -38,6 +38,12 @@ class LPSolution:
 
     x: np.ndarray
     objective: float
+    #: Gradients of the constraints carrying a strictly non-zero dual
+    #: multiplier at the optimum — rows of ``a_ub``/``a_eq`` plus ``-e_i`` /
+    #: ``+e_i`` for active lower/upper bounds — or ``None`` when the solver
+    #: did not expose duals.  Consumers use this for the uniqueness test of
+    #: :func:`lexicographic_minimum`.
+    active_gradients: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
@@ -94,7 +100,56 @@ def solve_lp(
         raise UnboundedProblemError("linear program is unbounded")
     if not res.success:
         raise SolverError(f"linprog failed with status {res.status}: {res.message}")
-    return LPSolution(x=np.asarray(res.x, dtype=float), objective=float(res.fun))
+    return LPSolution(
+        x=np.asarray(res.x, dtype=float),
+        objective=float(res.fun),
+        active_gradients=_active_gradients(res, a_ub, a_eq, d),
+    )
+
+
+#: Dual multipliers below this magnitude are treated as zero (weakly active)
+#: when collecting the strictly active constraint gradients.
+_DUAL_TOLERANCE = 1e-9
+
+
+def _active_gradients(res, a_ub, a_eq, d: int) -> Optional[np.ndarray]:
+    """Gradients of constraints with strictly non-zero duals at the optimum.
+
+    Rows of ``a_ub`` whose inequality multiplier is non-zero, every row of
+    ``a_eq`` (an equality always pins its gradient direction), and ``-e_i`` /
+    ``+e_i`` for lower/upper bounds with non-zero multipliers.  Returns
+    ``None`` when HiGHS did not report duals.
+    """
+    ineqlin = getattr(res, "ineqlin", None)
+    lower = getattr(res, "lower", None)
+    upper = getattr(res, "upper", None)
+    if ineqlin is None or lower is None or upper is None:
+        return None
+    grads: list[np.ndarray] = []
+    if a_ub is not None and len(a_ub) > 0:
+        marginals = getattr(ineqlin, "marginals", None)
+        if marginals is None:
+            return None
+        lam = np.abs(np.asarray(marginals, dtype=float))
+        tight = lam > _DUAL_TOLERANCE
+        if tight.any():
+            grads.append(np.asarray(a_ub, dtype=float)[tight])
+    if a_eq is not None and len(a_eq) > 0:
+        grads.append(np.asarray(a_eq, dtype=float))
+    eye = None
+    for attr, sign in ((lower, -1.0), (upper, 1.0)):
+        marginals = getattr(attr, "marginals", None)
+        if marginals is None:
+            continue
+        lam = np.abs(np.asarray(marginals, dtype=float))
+        tight = lam > _DUAL_TOLERANCE
+        if tight.any():
+            if eye is None:
+                eye = np.eye(d)
+            grads.append(sign * eye[tight])
+    if not grads:
+        return np.empty((0, d))
+    return np.vstack(grads)
 
 
 def lexicographic_minimum(
@@ -123,6 +178,20 @@ def lexicographic_minimum(
     first = solve_lp(c, a_ub=a_ub, b_ub=b_ub, bounds=bounds)
     objective = first.objective
     x = np.array(first.x, dtype=float)
+
+    # Uniqueness short-circuit: if the constraints carrying strictly positive
+    # dual multipliers span R^d, the optimal face is the single point x*.
+    # (For any feasible direction dx with c.dx = 0, complementary slackness
+    # gives sum_i lam_i (G dx)_i = 0 with lam_i > 0 and (G dx)_i <= 0 at the
+    # tight rows, forcing G dx = 0 on that rank-d set, hence dx = 0.)  The d
+    # coordinate refinements cannot move a unique optimum, so skip them.
+    grads = first.active_gradients
+    if (
+        grads is not None
+        and grads.shape[0] >= d
+        and np.linalg.matrix_rank(grads) == d
+    ):
+        return LPSolution(x=x, objective=objective)
 
     # Pin the objective (and then each coordinate in turn) with a one-sided
     # inequality at a tiny absolute slack instead of an exact equality: the
