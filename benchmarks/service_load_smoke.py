@@ -1,0 +1,138 @@
+"""Concurrency smoke for the HTTP front end: many clients, zero divergence.
+
+Boots an in-process :class:`~repro.server.ReproServer` (or targets a live
+one via ``REPRO_SERVICE_URL``), fires ``--clients`` concurrent threads —
+each a fresh :class:`~repro.server.ServiceClient` submitting one problem
+from a mixed lp/meb/svm/qp pool — and asserts every result is
+**bit-identical** to the in-process ``repro.solve()`` reference for that
+problem.  Any divergence or transport error exits non-zero: this is the CI
+gate that tenancy bookkeeping, the per-ticket event plumbing, and the
+thread-per-connection HTTP layer do not perturb solver determinism under
+load.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/service_load_smoke.py --clients 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+import numpy as np
+
+import repro
+from repro.server import ReproServer, ServiceClient
+from repro.workloads import (
+    make_separable_classification,
+    random_polytope_lp,
+    svm_problem,
+    uniform_ball_points,
+)
+
+CONFIG = dict(r=2, sample_size=300, success_threshold=0.02, seed=0)
+
+
+def _problem_pool() -> list:
+    from repro.problems.meb import MinimumEnclosingBall
+    from repro.problems.qp import ConvexQuadraticProgram
+
+    rng = np.random.default_rng(9)
+    q_matrix = np.diag(np.linspace(1.0, 2.0, 3))
+    normals = rng.normal(size=(500, 3))
+    normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+    anchor = rng.uniform(-1.0, 1.0, size=3)
+    h_vector = normals @ anchor - rng.uniform(0.1, 1.0, size=500)
+    return [
+        random_polytope_lp(2000, 2, seed=21).problem,
+        MinimumEnclosingBall(uniform_ball_points(1500, 3, seed=22)),
+        svm_problem(make_separable_classification(1500, 2, seed=23)),
+        ConvexQuadraticProgram(q_matrix, rng.normal(size=3), normals, h_vector),
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=100)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--timeout", type=float, default=180.0)
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="target a live server instead of booting one in-process "
+        "(defaults to $REPRO_SERVICE_URL when set)",
+    )
+    args = parser.parse_args()
+
+    import os
+
+    url = args.url or os.environ.get("REPRO_SERVICE_URL")
+    problems = _problem_pool()
+    references = [
+        repro.solve(problem, model="streaming", **CONFIG) for problem in problems
+    ]
+
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def one_client(index: int, base_url: str) -> None:
+        problem = problems[index % len(problems)]
+        reference = references[index % len(problems)]
+        try:
+            client = ServiceClient(base_url, timeout=args.timeout)
+            remote = client.solve(
+                problem, model="streaming", config=CONFIG, timeout=args.timeout
+            )
+        except Exception as exc:  # noqa: BLE001 - collected, reported, fatal
+            with lock:
+                failures.append(f"client {index}: {type(exc).__name__}: {exc}")
+            return
+        if (
+            remote.value != reference.value
+            or remote.basis_indices != reference.basis_indices
+            or remote.iterations != reference.iterations
+        ):
+            with lock:
+                failures.append(f"client {index}: result diverged from reference")
+
+    def run(base_url: str) -> float:
+        threads = [
+            threading.Thread(target=one_client, args=(i, base_url))
+            for i in range(args.clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - start
+
+    if url:
+        print(f"targeting live server at {url}")
+        wall = run(url)
+        stats = ServiceClient(url).healthz()["services"]
+    else:
+        with ReproServer(port=0, model="streaming", max_workers=args.workers, **CONFIG) as server:
+            print(f"booted in-process server at {server.url} ({args.workers} workers)")
+            wall = run(server.url)
+            stats = server.stats()
+
+    done = sum(s.get("done", 0) for s in stats.values())
+    print(
+        f"{args.clients} concurrent clients in {wall:.2f}s "
+        f"({args.clients / wall:.1f} req/s); server counted {done} done"
+    )
+    if failures:
+        print(f"FAILED: {len(failures)} clients diverged or errored:")
+        for line in failures[:10]:
+            print(f"  {line}")
+        return 1
+    print("OK: every client got a bit-identical result")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

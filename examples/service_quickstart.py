@@ -1,0 +1,82 @@
+"""The HTTP/SSE front end in one sitting: submit, stream, verify, meter.
+
+A problem is submitted to a running ``repro`` server over a real socket,
+its per-round progress is streamed back as server-sent events, and the
+final result is checked **bit-identical** to the in-process
+``repro.solve()`` call with the same configuration — determinism survives
+the network.  The tenant's metered usage is printed at the end.
+
+Run with::
+
+    python examples/service_quickstart.py
+
+which boots a throwaway in-process server, or point it at a live one
+(e.g. ``python -m repro serve --port 8731 --set seed=0``) with::
+
+    REPRO_SERVICE_URL=http://127.0.0.1:8731 python examples/service_quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+
+import repro
+from repro.server import ReproServer, ServiceClient
+from repro.workloads import random_polytope_lp
+
+#: Shared solver configuration: the server-side session and the local
+#: reference solve must agree on every field for bit-identity.
+CONFIG = dict(r=2, sample_size=300, success_threshold=0.02, seed=0)
+
+
+def run(client: ServiceClient) -> None:
+    problem = random_polytope_lp(num_constraints=20_000, dimension=3, seed=11).problem
+    print(f"LP instance: {problem.num_constraints} constraints in R^{problem.dimension}")
+
+    ticket = client.submit(problem, model="streaming", config=CONFIG)
+    print(f"submitted ticket {ticket.id}; streaming progress over SSE:")
+    for event in ticket.events(timeout=120):
+        name, data = event["event"], event["data"]
+        if name == "iteration":
+            print(
+                f"  iteration {data['iteration']}: "
+                f"{data['num_violators']} violators "
+                f"(weight fraction {data['violator_weight_fraction']:.4f})"
+            )
+        elif name in ("done", "failed"):
+            print(f"  {name} after {data.get('wall_s', 0.0):.3f}s")
+
+    remote = ticket.result(timeout=120)
+    local = repro.solve(problem, model="streaming", **CONFIG)
+    identical = (
+        remote.value == local.value
+        and remote.basis_indices == local.basis_indices
+        and remote.iterations == local.iterations
+    )
+    print(f"objective over HTTP          : {remote.value}")
+    print(f"objective in-process         : {local.value}")
+    print(f"bit-identical                : {identical}")
+    if not identical:
+        raise SystemExit("remote result diverged from the in-process solve")
+
+    usage = client.usage()
+    print(
+        f"tenant {usage['tenant']!r} usage : {usage['usage']['tickets']} tickets, "
+        f"{usage['usage']['iterations']} iterations, "
+        f"{usage['usage']['wall_s']:.3f}s wall"
+    )
+
+
+def main() -> None:
+    url = os.environ.get("REPRO_SERVICE_URL")
+    if url:
+        print(f"using live server at {url}")
+        run(ServiceClient(url))
+        return
+    print("booting a throwaway in-process server (set REPRO_SERVICE_URL to reuse one)")
+    with ReproServer(port=0, model="streaming", **CONFIG) as server:
+        run(ServiceClient(server.url))
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,7 @@ from .api import (
     ModelSpec,
     ProblemSpec,
     Session,
+    SessionPool,
     SessionSpec,
     SolverConfig,
     SolverService,
@@ -126,6 +127,7 @@ __all__ = [
     "ResourceBudget",
     "Session",
     "SessionError",
+    "SessionPool",
     "SessionSpec",
     "SolverConfig",
     "SolverService",

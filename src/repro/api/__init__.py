@@ -43,7 +43,7 @@ from .registry import (
     unregister_problem,
 )
 from .service import SolverService, Ticket
-from .session import IngestHandle, Session, WarmState
+from .session import IngestHandle, Session, SessionPool, WarmState
 
 from . import builtin  # noqa: F401  (import side-effect: registers "sequential")
 
@@ -75,5 +75,6 @@ __all__ = [
     "Ticket",
     "IngestHandle",
     "Session",
+    "SessionPool",
     "WarmState",
 ]

@@ -1,11 +1,14 @@
 """``python -m repro`` — the command-line front door.
 
-Three subcommands, all thin wrappers over the public API:
+Four subcommands, all thin wrappers over the public API:
 
 * ``list`` — the registry, via ``describe_model`` / ``describe_problem``;
 * ``solve`` — build a synthetic instance of a registered problem family and
   solve it in a registered model (``--set key=value`` forwards config
   fields); ``--json`` prints the full ``SolveResult.to_dict()`` wire form;
+* ``serve`` — boot the HTTP/SSE front end (``repro.server.ReproServer``)
+  and serve until SIGINT, then drain in-flight tickets
+  (``SolverService.shutdown(wait=True)``) before exiting;
 * ``bench`` — thin wrapper over ``benchmarks/run_suite.py`` (the canonical
   perf suite), resolved relative to the repository checkout.
 """
@@ -127,6 +130,36 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..server import ReproServer
+
+    tenants = None
+    if args.tenants:
+        tenants = json.loads(Path(args.tenants).read_text(encoding="utf-8"))
+    overrides = _parse_overrides(args.set or [])
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        model=args.model,
+        max_workers=args.workers,
+        tenants=tenants,
+        allow_anonymous=(None if args.anonymous is None else bool(args.anonymous)),
+        usage_log=args.usage_log,
+        verbose=args.verbose,
+        **overrides,
+    )
+    print(f"repro server listening on {server.url} (model={args.model})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight tickets) ...", flush=True)
+    finally:
+        # Drains every accepted ticket through SolverService.shutdown(wait=True)
+        # before the session pool (and its worker processes) is closed.
+        server.close()
+    return 0
+
+
 def _find_run_suite() -> Path:
     """Locate ``benchmarks/run_suite.py`` (source checkout layout)."""
     candidates = [
@@ -199,6 +232,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the full SolveResult.to_dict()"
     )
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_serve = sub.add_parser(
+        "serve", help="boot the HTTP/SSE solver front end (see docs/service.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8731, help="bind port (0 picks a free one)"
+    )
+    p_serve.add_argument(
+        "--model", default="streaming", help="default model for requests"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads per model's SolverService",
+    )
+    p_serve.add_argument(
+        "--tenants",
+        metavar="FILE.json",
+        help=(
+            "JSON file mapping API keys to tenants and quotas: "
+            '{"<key>": {"tenant": "acme", "max_concurrent": 4, ...}}'
+        ),
+    )
+    anon = p_serve.add_mutually_exclusive_group()
+    anon.add_argument(
+        "--anonymous",
+        dest="anonymous",
+        action="store_true",
+        default=None,
+        help="admit unauthenticated requests as the shared 'public' tenant",
+    )
+    anon.add_argument(
+        "--no-anonymous",
+        dest="anonymous",
+        action="store_false",
+        help="require an API key on every request",
+    )
+    p_serve.add_argument(
+        "--usage-log",
+        metavar="FILE.jsonl",
+        help="append one JSON line per finished ticket (the usage ledger)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    p_serve.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="base config field override shared by every model (repeatable)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     sub.add_parser(
         "bench",

@@ -30,7 +30,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable, Optional
 
-from ..core.budget import ResourceBudget, metered
+from ..core.budget import ProgressTap, ResourceBudget, metered, tapping
 from ..core.exceptions import BudgetExceededError, SessionError
 from ..core.result import SolveResult
 from .config import SolverConfig
@@ -57,10 +57,12 @@ class Ticket:
         ticket_id: int,
         deadline_s: Optional[float],
         budget: Optional[ResourceBudget],
+        tenant: Optional[str] = None,
     ) -> None:
         self.id = int(ticket_id)
         self.deadline_s = deadline_s
         self.budget = budget
+        self.tenant = tenant
         self.submitted_at = time.monotonic()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -141,6 +143,8 @@ class SolverService:
         self._lock = threading.Lock()
         self._shutdown = False
         self._counters = {state: 0 for state in ("submitted", "done", "failed", "cancelled")}
+        self._running = 0
+        self._tenant_counters: dict[str, dict[str, int]] = {}
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -181,10 +185,45 @@ class SolverService:
     def session(self) -> Session:
         return self._session
 
+    def _bump(self, tenant: Optional[str], outcome: str) -> None:
+        """Count one ticket outcome, attributed to its tenant (lock held)."""
+        self._counters[outcome] += 1
+        if tenant is not None:
+            bucket = self._tenant_counters.setdefault(
+                tenant,
+                {state: 0 for state in ("submitted", "done", "failed", "cancelled")},
+            )
+            bucket[outcome] += 1
+
     def stats(self) -> dict:
-        """Counters snapshot: submitted / done / failed / cancelled."""
+        """Counters snapshot: outcomes, queue depth, per-tenant breakdown.
+
+        ``submitted`` / ``done`` / ``failed`` / ``cancelled`` are lifetime
+        ticket counts; ``running`` is the tickets executing right now,
+        ``queue_depth`` the tickets accepted but not yet started, and
+        ``tenants`` the same per-outcome counts broken down by the tenant
+        passed at :meth:`submit` (tickets submitted without a tenant appear
+        only in the totals).  This is the service's public introspection
+        surface — the HTTP front end's ``/v1/usage`` and the test suite
+        read it instead of reaching into privates.
+        """
         with self._lock:
-            return dict(self._counters)
+            finished = (
+                self._counters["done"]
+                + self._counters["failed"]
+                + self._counters["cancelled"]
+            )
+            queued = self._counters["submitted"] - finished - self._running
+            return {
+                **dict(self._counters),
+                "running": self._running,
+                "queue_depth": max(0, queued),
+                "max_workers": self.max_workers,
+                "tenants": {
+                    tenant: dict(bucket)
+                    for tenant, bucket in self._tenant_counters.items()
+                },
+            }
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -195,26 +234,33 @@ class SolverService:
         problem: "LPTypeProblem",
         deadline_s: Optional[float] = None,
         budget: Optional[ResourceBudget] = None,
+        tenant: Optional[str] = None,
+        on_progress: Optional[Any] = None,
         **overrides: Any,
     ) -> Ticket:
         """Enqueue one solve; returns immediately with a :class:`Ticket`.
 
         ``deadline_s`` bounds the request end to end from submission (queue
-        wait included); ``budget`` bounds the execution itself.  Config
+        wait included); ``budget`` bounds the execution itself.  ``tenant``
+        attributes the ticket in :meth:`stats`; ``on_progress`` (a callable
+        taking one event dict) receives the engine's per-iteration and the
+        fabric's per-round events while the request runs — it is invoked in
+        the worker thread, so it must be cheap and thread-safe.  Config
         ``overrides`` apply to this request only.
         """
         if deadline_s is not None and deadline_s <= 0:
             raise SessionError(f"deadline_s must be > 0 (got {deadline_s!r})")
         config = self._session._config_for(overrides)
-        ticket = Ticket(next(self._ids), deadline_s, budget)
+        ticket = Ticket(next(self._ids), deadline_s, budget, tenant=tenant)
+        tap = ProgressTap(on_progress) if on_progress is not None else None
         # The shutdown check, the counter, and the executor hand-off stay
         # under one lock so a concurrent shutdown() cannot slip between them
         # (which would raise the executor's RuntimeError and desync stats).
         with self._lock:
             if self._shutdown:
                 raise SessionError("service is shut down")
-            self._executor.submit(self._run_ticket, ticket, problem, config)
-            self._counters["submitted"] += 1
+            self._executor.submit(self._run_ticket, ticket, problem, config, tap)
+            self._bump(tenant, "submitted")
         return ticket
 
     def submit_many(
@@ -261,22 +307,30 @@ class SolverService:
     def _finish(self, ticket: Ticket, outcome: str) -> None:
         ticket.finished_at = time.monotonic()
         with self._lock:
-            self._counters[outcome] += 1
+            self._running -= 1
+            self._bump(ticket.tenant, outcome)
 
     def _run_ticket(
-        self, ticket: Ticket, problem: "LPTypeProblem", config: SolverConfig
+        self,
+        ticket: Ticket,
+        problem: "LPTypeProblem",
+        config: SolverConfig,
+        tap: Optional[ProgressTap] = None,
     ) -> None:
         if not ticket._future.set_running_or_notify_cancel():
             with self._lock:
-                self._counters["cancelled"] += 1
+                self._bump(ticket.tenant, "cancelled")
             return
         ticket.started_at = time.monotonic()
+        with self._lock:
+            self._running += 1
         try:
             budget = self._effective_budget(ticket)
-            # The meter lives in *this* worker thread's context (contextvars
-            # do not cross threads), anchored at execution start — the
-            # deadline's queue wait is already folded into the budget.
-            with metered(budget, started_at=ticket.started_at):
+            # The meter and tap live in *this* worker thread's context
+            # (contextvars do not cross threads), anchored at execution
+            # start — the deadline's queue wait is already folded into the
+            # budget.
+            with metered(budget, started_at=ticket.started_at), tapping(tap):
                 result = self._session.run_cold(problem, config)
         except BaseException as exc:  # noqa: BLE001 - forwarded to the ticket
             # Outcome first, bookkeeping second: status/error key off the

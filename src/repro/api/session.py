@@ -39,6 +39,7 @@ bit-identical to their historical behaviour.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
@@ -61,7 +62,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.lptype import LPTypeProblem
     from .batch import BatchResult
 
-__all__ = ["Session", "WarmState", "IngestHandle", "session", "extend_problem"]
+__all__ = [
+    "Session",
+    "SessionPool",
+    "WarmState",
+    "IngestHandle",
+    "session",
+    "extend_problem",
+]
 
 
 # ---------------------------------------------------------------------- #
@@ -761,6 +769,107 @@ class Session:
             session=self,
             **overrides,
         )
+
+
+class SessionPool:
+    """A keyed pool of long-lived sessions, created on first use.
+
+    The HTTP front end keeps one pool keyed by *model name*: the first
+    request for a model spins up that model's session (and its pinned
+    transport / worker pool) and every later request — from any tenant —
+    reuses it, which is where the amortisation comes from.  Any hashable
+    key works; pass ``factory`` to control how a key becomes a session
+    (the default treats the key as a registered model name).
+
+    Pools are thread-safe: concurrent ``get`` calls for the same key create
+    exactly one session.  ``close()`` closes every pooled session; a closed
+    pool rejects further ``get`` calls.
+
+    Parameters
+    ----------
+    config, warm_tracking, **overrides:
+        Forwarded to every default-constructed :class:`Session`.
+        ``warm_tracking`` defaults to ``False`` because pooled sessions are
+        shared across concurrent stateless solves (the service path).
+    factory:
+        Optional ``key -> Session`` constructor overriding the default.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SolverConfig] = None,
+        *,
+        warm_tracking: bool = False,
+        factory: Optional[Any] = None,
+        **overrides: Any,
+    ) -> None:
+        self._config = config
+        self._warm_tracking = bool(warm_tracking)
+        self._overrides = dict(overrides)
+        self._factory = factory
+        self._sessions: dict[Any, Session] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _build(self, key: Any) -> Session:
+        if self._factory is not None:
+            return self._factory(key)
+        return Session(
+            model=str(key),
+            config=self._config,
+            warm_tracking=self._warm_tracking,
+            **self._overrides,
+        )
+
+    def get(self, key: Any) -> Session:
+        """The session for ``key``, creating it on first use."""
+        with self._lock:
+            if self._closed:
+                raise SessionError("session pool is closed")
+            existing = self._sessions.get(key)
+            if existing is not None:
+                return existing
+            # Built under the lock: concurrent first requests for one key
+            # must not race two transports into existence.
+            created = self._build(key)
+            self._sessions[key] = created
+            return created
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, key: Any) -> bool:
+        with self._lock:
+            return key in self._sessions
+
+    def discard(self, key: Any) -> None:
+        """Close and drop one pooled session (no-op for unknown keys)."""
+        with self._lock:
+            session_obj = self._sessions.pop(key, None)
+        if session_obj is not None:
+            session_obj.close()
+
+    def close(self) -> None:
+        """Close every pooled session and reject further use."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session_obj in sessions:
+            session_obj.close()
+
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 def session(

@@ -17,10 +17,16 @@ number; we default to 64-bit words and record the convention in the results).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional
 
 import numpy as np
+
+from .budget import active_tap
 
 #: Default number of bits charged for one numeric coefficient in a message.
 DEFAULT_BITS_PER_COEFFICIENT = 64
@@ -111,8 +117,21 @@ class RoundLedger:
     rounds: list[dict] = field(default_factory=list)
 
     def record(self, **costs: int) -> None:
-        """Append a round with the given named costs."""
+        """Append a round with the given named costs.
+
+        If a :class:`~repro.core.budget.ProgressTap` is installed for the
+        enclosing solve, the round is also emitted as a progress event —
+        this single hook covers every topology (coordinator rounds, MPC
+        rounds, and stream passes all record through one ledger).
+        """
         self.rounds.append(dict(costs))
+        tap = active_tap()
+        if tap is not None:
+            tap.emit(
+                "round",
+                round=len(self.rounds),
+                **{key: int(value) for key, value in costs.items()},
+            )
 
     @property
     def num_rounds(self) -> int:
@@ -131,3 +150,104 @@ class RoundLedger:
     def as_table(self) -> list[Mapping[str, int]]:
         """Rounds as an immutable-ish list of dicts (for reports)."""
         return [dict(r) for r in self.rounds]
+
+
+# ---------------------------------------------------------------------- #
+# Tenant attribution: the usage ledger of the service front end.
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class TenantUsage:
+    """Cumulative resource totals attributed to one tenant.
+
+    The currencies mirror :class:`~repro.core.budget.ResourceBudget`: wall
+    seconds, meta-algorithm iterations, and measured communication bits —
+    plus ticket outcome counts so quota decisions and billing views need no
+    second bookkeeping pass.
+    """
+
+    tickets: int = 0
+    done: int = 0
+    failed: int = 0
+    wall_s: float = 0.0
+    iterations: int = 0
+    communication_bits: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class UsageLedger:
+    """Thread-safe per-tenant usage totals with an optional JSONL log.
+
+    Every finished ticket is recorded once — successes from the final
+    :class:`~repro.core.result.ResourceUsage`, budget aborts from the
+    partial usage carried by the
+    :class:`~repro.core.exceptions.BudgetExceededError` — so truncated
+    requests are billed for what they actually consumed.  With ``path``
+    set, each record is appended as one JSON line (flushed per record: the
+    ledger survives a crashed server).
+    """
+
+    def __init__(self, path: Optional[str | Path] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._totals: dict[str, TenantUsage] = {}
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        tenant: str,
+        *,
+        outcome: str,
+        wall_s: float = 0.0,
+        iterations: int = 0,
+        communication_bits: int = 0,
+        **extra: Any,
+    ) -> TenantUsage:
+        """Attribute one finished ticket to ``tenant``; returns new totals."""
+        with self._lock:
+            usage = self._totals.setdefault(tenant, TenantUsage())
+            usage.tickets += 1
+            if outcome == "done":
+                usage.done += 1
+            elif outcome == "failed":
+                usage.failed += 1
+            usage.wall_s += float(wall_s)
+            usage.iterations += int(iterations)
+            usage.communication_bits += int(communication_bits)
+            snapshot = TenantUsage(**asdict(usage))
+        if self.path is not None:
+            line = json.dumps(
+                {
+                    "ts": time.time(),
+                    "tenant": tenant,
+                    "outcome": outcome,
+                    "wall_s": float(wall_s),
+                    "iterations": int(iterations),
+                    "communication_bits": int(communication_bits),
+                    **extra,
+                }
+            )
+            with self._lock:
+                with self.path.open("a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+        return snapshot
+
+    def totals(self, tenant: str) -> TenantUsage:
+        """A copy of ``tenant``'s totals (all-zero if never recorded)."""
+        with self._lock:
+            usage = self._totals.get(tenant)
+            return TenantUsage(**asdict(usage)) if usage else TenantUsage()
+
+    def tenants(self) -> dict[str, TenantUsage]:
+        """Snapshot of every tenant's totals."""
+        with self._lock:
+            return {
+                name: TenantUsage(**asdict(usage))
+                for name, usage in self._totals.items()
+            }
+
+    def as_dict(self) -> dict:
+        """JSON-ready map of tenant name to totals."""
+        return {name: usage.as_dict() for name, usage in self.tenants().items()}

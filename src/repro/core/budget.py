@@ -18,6 +18,12 @@ than through the driver signatures: budgets are a *service-level* concern
 and the drivers stay oblivious (an unbudgeted solve never even looks at the
 clock).  :func:`metered` installs a meter for the duration of one solve;
 :func:`active_meter` is what the engine and topologies consult.
+
+The same pattern carries **progress taps**: a :class:`ProgressTap` installed
+with :func:`tapping` receives one event per engine iteration (emitted by the
+engine loop) and one per communication round (emitted by the topology
+ledger), which is how the HTTP front end streams per-round progress over SSE
+without the drivers knowing a network exists.
 """
 
 from __future__ import annotations
@@ -26,12 +32,20 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from .exceptions import BudgetExceededError, InvalidConfigError
 from .result import ResourceUsage
 
-__all__ = ["ResourceBudget", "BudgetMeter", "active_meter", "metered"]
+__all__ = [
+    "ResourceBudget",
+    "BudgetMeter",
+    "ProgressTap",
+    "active_meter",
+    "active_tap",
+    "metered",
+    "tapping",
+]
 
 
 @dataclass(frozen=True)
@@ -169,3 +183,51 @@ def metered(
         yield meter
     finally:
         _ACTIVE_METER.reset(token)
+
+
+class ProgressTap:
+    """Receives per-iteration / per-round progress events of one solve.
+
+    A tap wraps one callback; the engine loop emits an ``"iteration"`` event
+    per meta-algorithm iteration and the topology ledger emits a ``"round"``
+    event per recorded communication round (stream passes included).  Every
+    event is a flat dict with an ``"event"`` key plus the emitter's fields,
+    delivered synchronously in the solving thread — callbacks must be cheap
+    and thread-safe (the service front end appends to a per-ticket queue).
+    """
+
+    __slots__ = ("_callback",)
+
+    def __init__(self, callback: Callable[[dict], Any]) -> None:
+        self._callback = callback
+
+    def emit(self, event: str, **fields: Any) -> None:
+        self._callback({"event": event, **fields})
+
+
+_ACTIVE_TAP: ContextVar[Optional[ProgressTap]] = ContextVar(
+    "repro_progress_tap", default=None
+)
+
+
+def active_tap() -> Optional[ProgressTap]:
+    """The progress tap of the enclosing solve, if any."""
+    return _ACTIVE_TAP.get()
+
+
+@contextmanager
+def tapping(tap: Optional[ProgressTap]) -> Iterator[Optional[ProgressTap]]:
+    """Install a progress tap for the duration of one solve.
+
+    ``None`` installs nothing (the untapped hot path stays a single ``None``
+    check per iteration).  Like budget meters, taps do not nest: an inner
+    ``tapping`` replaces the outer one for its extent.
+    """
+    if tap is None:
+        yield None
+        return
+    token = _ACTIVE_TAP.set(tap)
+    try:
+        yield tap
+    finally:
+        _ACTIVE_TAP.reset(token)

@@ -39,7 +39,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from .budget import active_meter
+from .budget import active_meter, active_tap
 from .exceptions import InvalidConfigError, IterationLimitError
 from .lptype import BasisResult, LPTypeProblem
 from .result import IterationRecord
@@ -356,8 +356,10 @@ class ClarksonEngine:
         iterations = 0
         # Per-request budget (if any): charged once per iteration so a
         # budgeted request aborts at an iteration boundary.  Unbudgeted
-        # solves see a single ``None`` check per iteration.
+        # solves see a single ``None`` check per iteration.  The progress
+        # tap (if any) is the service front end's SSE feed.
         meter = active_meter()
+        tap = active_tap()
 
         for iteration in range(config.budget):
             if meter is not None:
@@ -366,6 +368,15 @@ class ClarksonEngine:
             basis = self._solve_sample(sample)
             stats = self.substrate.measure(sample, basis)
             success = stats.weight_fraction <= config.epsilon
+            if tap is not None:
+                tap.emit(
+                    "iteration",
+                    iteration=iteration,
+                    sample_size=int(len(sample)),
+                    num_violators=int(stats.num_violators),
+                    violator_weight_fraction=float(stats.weight_fraction),
+                    successful=bool(success),
+                )
             if config.keep_trace:
                 trace.append(
                     IterationRecord(

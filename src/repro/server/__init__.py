@@ -1,0 +1,52 @@
+"""``repro.server`` — the HTTP/SSE network face of the solver service.
+
+Layers (each documented in its module):
+
+* :mod:`repro.server.app` — :class:`ReproServer`: a stdlib
+  ``ThreadingHTTPServer`` front end over per-model
+  :class:`~repro.api.service.SolverService` instances sharing a
+  :class:`~repro.api.session.SessionPool`;
+* :mod:`repro.server.tenancy` — API keys, :class:`TenantQuota` admission
+  control, 429s;
+* :mod:`repro.server.wire` — request/error codecs and SSE frames around
+  the ``repro-result/1`` result format;
+* :mod:`repro.server.client` — :class:`ServiceClient`, the typed stdlib
+  client the tests, examples, and load smoke drive real sockets with.
+
+Start one with ``python -m repro serve`` or in-process::
+
+    from repro.server import ReproServer, ServiceClient
+
+    with ReproServer(port=0, model="streaming", seed=0) as server:
+        client = ServiceClient(server.url)
+        result = client.solve(problem)      # a SolveResult, bit-identical
+                                            # to repro.solve(problem, seed=0)
+
+See ``docs/service.md`` for the endpoint, tenancy, and SSE schemas.
+"""
+
+from .app import ReproServer
+from .client import RemoteTicket, ServiceClient, ServiceError
+from .tenancy import (
+    AuthenticationError,
+    QuotaExceededError,
+    Tenant,
+    TenantQuota,
+    TenantRegistry,
+)
+from .wire import RequestValidationError, decode_problem, encode_problem
+
+__all__ = [
+    "AuthenticationError",
+    "QuotaExceededError",
+    "RemoteTicket",
+    "ReproServer",
+    "RequestValidationError",
+    "ServiceClient",
+    "ServiceError",
+    "Tenant",
+    "TenantQuota",
+    "TenantRegistry",
+    "decode_problem",
+    "encode_problem",
+]

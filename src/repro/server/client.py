@@ -1,0 +1,300 @@
+"""A typed stdlib client for the HTTP/SSE front end.
+
+:class:`ServiceClient` speaks the protocol of :class:`~repro.server.app.
+ReproServer` with nothing beyond ``http.client`` and ``json``: tests, the
+examples, and the load smoke drive real sockets through it.  Results come
+back as genuine :class:`~repro.core.result.SolveResult` objects (decoded
+from the ``repro-result/1`` wire form) and failures re-raise the library's
+own exception types — a budget abort raises
+:class:`~repro.core.exceptions.BudgetExceededError` carrying the partial
+:class:`~repro.core.result.ResourceUsage`, exactly as in-process code sees.
+
+Usage::
+
+    client = ServiceClient("http://127.0.0.1:8731", api_key="secret")
+    ticket = client.submit(problem, model="streaming", config={"r": 2})
+    for event in ticket.events():          # SSE per-round progress
+        print(event["event"], event["data"])
+    result = ticket.result(timeout=60)     # a SolveResult
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator, Mapping, Optional
+from urllib.parse import urlparse
+
+from ..core.budget import ResourceBudget
+from ..core.exceptions import ReproError
+from ..core.result import SolveResult
+from .tenancy import API_KEY_HEADER, AuthenticationError, QuotaExceededError
+from .wire import encode_problem, error_to_exception
+
+__all__ = ["RemoteTicket", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure the library has no specific exception for.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code (0 for transport-level failures).
+    body:
+        The parsed error body, if the server sent one.
+    """
+
+    def __init__(self, message: str, status: int = 0, body: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body
+
+
+class RemoteTicket:
+    """A submitted request on a remote server: poll, stream, await."""
+
+    def __init__(self, client: "ServiceClient", ticket_id: str, model: str) -> None:
+        self.client = client
+        self.id = ticket_id
+        self.model = model
+
+    def status(self) -> dict:
+        """One poll of ``GET /v1/tickets/<id>`` (raw payload)."""
+        return self.client.ticket(self.id)
+
+    def events(self, timeout: float = 300.0) -> Iterator[dict]:
+        """The ticket's SSE stream: yields ``{"event": ..., "data": {...}}``."""
+        return self.client.events(self.id, timeout=timeout)
+
+    def result(
+        self, timeout: float = 60.0, poll_interval: float = 0.05
+    ) -> SolveResult:
+        """Poll until finished; decode the result or re-raise the error."""
+        return self.client.result(
+            self.id, timeout=timeout, poll_interval=poll_interval
+        )
+
+
+class ServiceClient:
+    """A thin, typed wrapper over the server's HTTP protocol.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a running :class:`ReproServer`.
+    api_key:
+        Sent as ``X-API-Key`` on every request (omit for anonymous access).
+    timeout:
+        Socket timeout for non-streaming requests, in seconds.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        api_key: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        parsed = urlparse(base_url)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ServiceError(
+                f"base_url must look like http://host:port, got {base_url!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.api_key = api_key
+        self.timeout = float(timeout)
+
+    # -------------------------------------------------------------- #
+    # HTTP plumbing
+    # -------------------------------------------------------------- #
+
+    def _connection(self, timeout: float) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+
+    def _headers(self) -> dict:
+        headers = {"Accept": "application/json"}
+        if self.api_key:
+            headers[API_KEY_HEADER] = self.api_key
+        return headers
+
+    def _request(self, method: str, path: str, body: Any = None) -> Any:
+        """One JSON request/response; raises typed errors on non-2xx."""
+        conn = self._connection(self.timeout)
+        try:
+            headers = self._headers()
+            payload = None
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {exc}"
+            ) from None
+        finally:
+            conn.close()
+        try:
+            parsed = json.loads(raw) if raw else {}
+        except ValueError:
+            parsed = {"raw": raw.decode("utf-8", "replace")}
+        if 200 <= response.status < 300:
+            return parsed
+        self._raise_for(response.status, parsed)
+
+    def _raise_for(self, status: int, body: Any) -> None:
+        error = body.get("error") if isinstance(body, Mapping) else None
+        if isinstance(error, Mapping):
+            error_type = error.get("type")
+            message = str(error.get("message", ""))
+            if error_type == "unauthorized":
+                raise AuthenticationError(message)
+            if error_type == "quota_exhausted":
+                raise QuotaExceededError(
+                    message,
+                    reason=str(error.get("reason", "")),
+                    limit=error.get("limit"),
+                    used=error.get("used"),
+                )
+            exc = error_to_exception({"error": dict(error)})
+            if not isinstance(exc, ReproError) or type(exc) is ReproError:
+                raise ServiceError(message, status=status, body=body)
+            raise exc
+        raise ServiceError(f"HTTP {status}", status=status, body=body)
+
+    # -------------------------------------------------------------- #
+    # Endpoints
+    # -------------------------------------------------------------- #
+
+    def submit(
+        self,
+        problem: Any,
+        *,
+        model: Optional[str] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        deadline_s: Optional[float] = None,
+        budget: Optional[ResourceBudget | Mapping[str, Any]] = None,
+    ) -> RemoteTicket:
+        """``POST /v1/solve``: submit one problem, get a :class:`RemoteTicket`.
+
+        ``problem`` is an LP-type problem instance (encoded via
+        :func:`~repro.server.wire.encode_problem`) or an already-encoded
+        wire payload; ``config`` carries per-request field overrides.
+        """
+        payload: dict[str, Any] = {
+            "problem": (
+                dict(problem) if isinstance(problem, Mapping) else encode_problem(problem)
+            ),
+        }
+        if model is not None:
+            payload["model"] = model
+        if config:
+            payload["config"] = dict(config)
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if isinstance(budget, ResourceBudget):
+            payload["budget"] = {
+                "wall_time_s": budget.wall_time_s,
+                "iterations": budget.iterations,
+                "communication_bits": budget.communication_bits,
+            }
+        elif budget is not None:
+            payload["budget"] = dict(budget)
+        body = self._request("POST", "/v1/solve", payload)
+        ticket = body["ticket"]
+        return RemoteTicket(self, str(ticket["id"]), str(ticket["model"]))
+
+    def ticket(self, ticket_id: str) -> dict:
+        """``GET /v1/tickets/<id>``: one status poll (raw payload)."""
+        return self._request("GET", f"/v1/tickets/{ticket_id}")
+
+    def result(
+        self,
+        ticket_id: str,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> SolveResult:
+        """Poll a ticket to completion; decode or re-raise like in-process."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.ticket(ticket_id)
+            status = payload["status"]
+            if status == "done":
+                return SolveResult.from_dict(payload["result"])
+            if status == "failed":
+                raise error_to_exception({"error": payload["error"]})
+            if status == "cancelled":
+                raise ServiceError(f"ticket {ticket_id} was cancelled")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"ticket {ticket_id} still {status!r} after {timeout:g}s"
+                )
+            time.sleep(poll_interval)
+
+    def solve(
+        self,
+        problem: Any,
+        *,
+        timeout: float = 60.0,
+        **submit_kwargs: Any,
+    ) -> SolveResult:
+        """Submit and wait: the one-call remote mirror of :func:`repro.solve`."""
+        return self.submit(problem, **submit_kwargs).result(timeout=timeout)
+
+    def events(self, ticket_id: str, timeout: float = 300.0) -> Iterator[dict]:
+        """``GET /v1/tickets/<id>/events``: parsed SSE frames as they arrive.
+
+        Yields ``{"event": name, "data": {...}}`` per frame and returns
+        after the terminal ``done`` / ``failed`` / ``cancelled`` event.
+        """
+        conn = self._connection(timeout + 5.0)
+        try:
+            conn.request(
+                "GET",
+                f"/v1/tickets/{ticket_id}/events?timeout={timeout:g}",
+                headers=self._headers(),
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    parsed = json.loads(raw) if raw else {}
+                except ValueError:
+                    parsed = {}
+                self._raise_for(response.status, parsed)
+            event_name: Optional[str] = None
+            data_lines: list[str] = []
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):  # comment / keep-alive
+                    continue
+                if line.startswith("event:"):
+                    event_name = line[len("event:") :].strip()
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:") :].strip())
+                    continue
+                if line == "" and event_name is not None:
+                    data = json.loads("\n".join(data_lines)) if data_lines else {}
+                    yield {"event": event_name, "data": data}
+                    finished = event_name in ("done", "failed", "cancelled")
+                    event_name, data_lines = None, []
+                    if finished:
+                        return
+        finally:
+            conn.close()
+
+    def models(self) -> dict:
+        """``GET /v1/models``: the server's registry view."""
+        return self._request("GET", "/v1/models")
+
+    def usage(self) -> dict:
+        """``GET /v1/usage``: this tenant's cumulative usage and quota."""
+        return self._request("GET", "/v1/usage")
+
+    def healthz(self) -> dict:
+        """``GET /v1/healthz``: liveness plus aggregate service stats."""
+        return self._request("GET", "/v1/healthz")

@@ -1,0 +1,364 @@
+"""Wire codecs of the HTTP front end: problems, budgets, errors, SSE.
+
+The solver results themselves already have a wire form — ``repro-result/1``
+via :meth:`~repro.core.result.SolveResult.to_dict` — so this module only
+adds what the *request* side needs:
+
+* :func:`encode_problem` / :func:`decode_problem` — the four built-in
+  problem families as plain-JSON payloads (``{"family": "lp", "c": ...,
+  "a": ..., "b": ...}``), validated with errors that name the offending
+  field in the style of :class:`~repro.core.exceptions.InvalidConfigError`;
+* :func:`decode_budget` — :class:`~repro.core.budget.ResourceBudget` from a
+  JSON object;
+* :func:`error_body` / :func:`exception_to_error` /
+  :func:`error_to_exception` — the structured error bodies every non-2xx
+  response (and every failed ticket) carries, round-trippable back into the
+  library's exception types on the client;
+* :func:`sse_event` — one Server-Sent-Events frame.
+
+Numbers are serialised with Python's default JSON behaviour, which emits
+the IEEE tokens ``Infinity`` / ``-Infinity`` / ``NaN`` for non-finite
+values; ``json.loads`` parses them back, so non-finite margins survive the
+HTTP round trip (pinned by the server test suite).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from ..core.budget import ResourceBudget
+from ..core.exceptions import (
+    BudgetExceededError,
+    InfeasibleProblemError,
+    InvalidConfigError,
+    InvalidInstanceError,
+    ReproError,
+    SolverError,
+    UnboundedProblemError,
+)
+from ..core.result import ResourceUsage
+
+__all__ = [
+    "RequestValidationError",
+    "decode_budget",
+    "decode_problem",
+    "encode_problem",
+    "error_body",
+    "error_to_exception",
+    "exception_to_error",
+    "sse_event",
+]
+
+#: Accepted spellings of the problem families on the wire.
+WIRE_FAMILIES = ("lp", "meb", "svm", "qp")
+
+
+class RequestValidationError(ReproError, ValueError):
+    """A malformed request payload; the message names the offending field.
+
+    Mirrors :class:`~repro.core.exceptions.InvalidConfigError`: the server
+    turns it into a typed 400 JSON body (``{"error": {"type":
+    "invalid_request", "field": ..., "message": ...}}``) so clients can
+    correct the request without parsing prose.
+    """
+
+    def __init__(self, message: str, field: str = "") -> None:
+        super().__init__(message)
+        self.field = field
+
+
+# ---------------------------------------------------------------------- #
+# Problems
+# ---------------------------------------------------------------------- #
+
+
+def _require(payload: Mapping[str, Any], field: str, family: str) -> Any:
+    if field not in payload:
+        raise RequestValidationError(
+            f"problem family {family!r} requires field {field!r}",
+            field=f"problem.{field}",
+        )
+    return payload[field]
+
+
+def _array(payload: Mapping[str, Any], field: str, family: str, ndim: int) -> np.ndarray:
+    try:
+        arr = np.asarray(_require(payload, field, family), dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise RequestValidationError(
+            f"problem.{field} is not a numeric array: {exc}",
+            field=f"problem.{field}",
+        ) from None
+    if arr.ndim != ndim:
+        raise RequestValidationError(
+            f"problem.{field} must be {ndim}-dimensional, got {arr.ndim}-d",
+            field=f"problem.{field}",
+        )
+    return arr
+
+
+def encode_problem(problem: Any) -> dict:
+    """The wire payload of one built-in problem instance.
+
+    The inverse of :func:`decode_problem`: the four built-in families
+    (:class:`~repro.problems.LinearProgram`, MEB, SVM, QP) are encoded
+    field-by-field so the server rebuilds a numerically identical instance.
+    User-defined problem classes may implement ``to_wire() -> dict``
+    (returning a payload :func:`decode_problem` understands) to opt in.
+    """
+    from ..problems import (
+        ConvexQuadraticProgram,
+        LinearProgram,
+        LinearSVM,
+        MinimumEnclosingBall,
+    )
+
+    hook = getattr(problem, "to_wire", None)
+    if hook is not None:
+        return hook()
+    if isinstance(problem, LinearProgram):
+        return {
+            "family": "lp",
+            "c": problem.c.tolist(),
+            "a": problem.a.tolist(),
+            "b": problem.b.tolist(),
+            "box_bound": problem.box_bound,
+            "solver": problem.solver,
+            "lexicographic": problem.lexicographic,
+            "tolerance": problem.tolerance,
+        }
+    if isinstance(problem, MinimumEnclosingBall):
+        return {
+            "family": "meb",
+            "points": problem.points.tolist(),
+            "tolerance": problem.tolerance,
+        }
+    if isinstance(problem, LinearSVM):
+        return {
+            "family": "svm",
+            "points": problem.points.tolist(),
+            "labels": problem.labels.tolist(),
+            "tolerance": problem.tolerance,
+        }
+    if isinstance(problem, ConvexQuadraticProgram):
+        return {
+            "family": "qp",
+            "q_matrix": problem.q_matrix.tolist(),
+            "q_vector": problem.q_vector.tolist(),
+            "g_matrix": problem.g_matrix.tolist(),
+            "h_vector": problem.h_vector.tolist(),
+            "tolerance": problem.tolerance,
+        }
+    raise RequestValidationError(
+        f"cannot encode {type(problem).__name__} for the wire: implement "
+        "to_wire() or submit one of the built-in families (lp/meb/svm/qp)",
+        field="problem",
+    )
+
+
+def decode_problem(payload: Any) -> Any:
+    """Rebuild an LP-type problem instance from its wire payload."""
+    if not isinstance(payload, Mapping):
+        raise RequestValidationError(
+            f"problem must be a JSON object, got {type(payload).__name__}",
+            field="problem",
+        )
+    family = payload.get("family")
+    if family not in WIRE_FAMILIES:
+        raise RequestValidationError(
+            f"problem.family must be one of {'/'.join(WIRE_FAMILIES)}, "
+            f"got {family!r}",
+            field="problem.family",
+        )
+    from ..problems import (
+        ConvexQuadraticProgram,
+        LinearProgram,
+        LinearSVM,
+        MinimumEnclosingBall,
+    )
+
+    try:
+        if family == "lp":
+            kwargs: dict[str, Any] = {}
+            for key in ("box_bound", "solver", "lexicographic", "tolerance"):
+                if key in payload:
+                    kwargs[key] = payload[key]
+            return LinearProgram(
+                c=_array(payload, "c", family, 1),
+                a=_array(payload, "a", family, 2),
+                b=_array(payload, "b", family, 1),
+                **kwargs,
+            )
+        if family == "meb":
+            kwargs = {"tolerance": payload["tolerance"]} if "tolerance" in payload else {}
+            return MinimumEnclosingBall(
+                points=_array(payload, "points", family, 2), **kwargs
+            )
+        if family == "svm":
+            kwargs = {"tolerance": payload["tolerance"]} if "tolerance" in payload else {}
+            return LinearSVM(
+                points=_array(payload, "points", family, 2),
+                labels=_array(payload, "labels", family, 1),
+                **kwargs,
+            )
+        kwargs = {"tolerance": payload["tolerance"]} if "tolerance" in payload else {}
+        return ConvexQuadraticProgram(
+            q_matrix=_array(payload, "q_matrix", family, 2),
+            q_vector=_array(payload, "q_vector", family, 1),
+            g_matrix=_array(payload, "g_matrix", family, 2),
+            h_vector=_array(payload, "h_vector", family, 1),
+            **kwargs,
+        )
+    except InvalidInstanceError as exc:
+        # Instance-level validation (mismatched shapes, bad labels, ...)
+        # surfaces as a request error: the instance came off the wire.
+        raise RequestValidationError(str(exc), field="problem") from None
+
+
+# ---------------------------------------------------------------------- #
+# Budgets
+# ---------------------------------------------------------------------- #
+
+_BUDGET_FIELDS = ("wall_time_s", "iterations", "communication_bits")
+
+
+def decode_budget(payload: Any) -> Optional[ResourceBudget]:
+    """A :class:`ResourceBudget` from its JSON object form (``None`` passes)."""
+    if payload is None:
+        return None
+    if not isinstance(payload, Mapping):
+        raise RequestValidationError(
+            f"budget must be a JSON object, got {type(payload).__name__}",
+            field="budget",
+        )
+    unknown = set(payload) - set(_BUDGET_FIELDS)
+    if unknown:
+        raise RequestValidationError(
+            f"unknown budget field(s) {', '.join(sorted(map(repr, unknown)))}; "
+            f"supported: {', '.join(_BUDGET_FIELDS)}",
+            field="budget",
+        )
+    try:
+        return ResourceBudget(
+            wall_time_s=(
+                float(payload["wall_time_s"])
+                if payload.get("wall_time_s") is not None
+                else None
+            ),
+            iterations=(
+                int(payload["iterations"])
+                if payload.get("iterations") is not None
+                else None
+            ),
+            communication_bits=(
+                int(payload["communication_bits"])
+                if payload.get("communication_bits") is not None
+                else None
+            ),
+        )
+    except (InvalidConfigError, TypeError, ValueError) as exc:
+        raise RequestValidationError(str(exc), field="budget") from None
+
+
+# ---------------------------------------------------------------------- #
+# Error bodies
+# ---------------------------------------------------------------------- #
+
+
+def error_body(error_type: str, message: str, **extra: Any) -> dict:
+    """The structured error body every non-2xx response carries."""
+    return {"error": {"type": error_type, "message": message, **extra}}
+
+
+def _usage_to_dict(usage: Any) -> Optional[dict]:
+    if not isinstance(usage, ResourceUsage):
+        return None
+    return {
+        name: int(getattr(usage, name))
+        for name in ResourceUsage._ADDITIVE_FIELDS + ResourceUsage._PEAK_FIELDS
+    }
+
+
+#: Exception class -> wire error type, for ticket failure payloads.
+_EXCEPTION_TYPES = (
+    (BudgetExceededError, "budget_exhausted"),
+    (InfeasibleProblemError, "infeasible"),
+    (UnboundedProblemError, "unbounded"),
+    (InvalidConfigError, "invalid_config"),
+    (RequestValidationError, "invalid_request"),
+    (SolverError, "solver_error"),
+)
+
+
+def exception_to_error(exc: BaseException) -> dict:
+    """The error body of one failed ticket.
+
+    :class:`BudgetExceededError` keeps its full partial-usage picture —
+    reason, elapsed wall time, iterations, communication bits, and the
+    partial :class:`ResourceUsage` — so billing-grade information survives
+    the wire.
+    """
+    if isinstance(exc, BudgetExceededError):
+        return error_body(
+            "budget_exhausted",
+            str(exc),
+            reason=exc.reason,
+            elapsed_s=exc.elapsed_s,
+            iterations=exc.iterations,
+            communication_bits=exc.communication_bits,
+            usage=_usage_to_dict(exc.usage),
+        )
+    for cls, error_type in _EXCEPTION_TYPES:
+        if isinstance(exc, cls):
+            return error_body(error_type, str(exc))
+    return error_body("internal", f"{type(exc).__name__}: {exc}")
+
+
+def error_to_exception(body: Mapping[str, Any]) -> ReproError:
+    """Rebuild a library exception from an error body (client side)."""
+    error = body.get("error", body)
+    error_type = error.get("type", "internal")
+    message = error.get("message", "unknown server error")
+    if error_type == "budget_exhausted":
+        usage_payload = error.get("usage")
+        usage = (
+            ResourceUsage(
+                **{
+                    k: int(v)
+                    for k, v in usage_payload.items()
+                    if k
+                    in ResourceUsage._ADDITIVE_FIELDS + ResourceUsage._PEAK_FIELDS
+                }
+            )
+            if isinstance(usage_payload, Mapping)
+            else None
+        )
+        return BudgetExceededError(
+            message,
+            reason=str(error.get("reason", "")),
+            elapsed_s=float(error.get("elapsed_s", 0.0)),
+            iterations=int(error.get("iterations", 0)),
+            communication_bits=int(error.get("communication_bits", 0)),
+            usage=usage,
+        )
+    for cls, wire_type in _EXCEPTION_TYPES:
+        if wire_type == error_type:
+            if cls is RequestValidationError:
+                return RequestValidationError(
+                    message, field=str(error.get("field", ""))
+                )
+            return cls(message)
+    return ReproError(message)
+
+
+# ---------------------------------------------------------------------- #
+# Server-Sent Events
+# ---------------------------------------------------------------------- #
+
+
+def sse_event(event: str, data: Any) -> bytes:
+    """One SSE frame: ``event:`` name plus one JSON ``data:`` line."""
+    return (f"event: {event}\n" f"data: {json.dumps(data)}\n\n").encode("utf-8")

@@ -116,3 +116,55 @@ class TestRoundLedger:
         table = ledger.as_table()
         table[0]["bits"] = 999
         assert ledger.total("bits") == 10
+
+
+class TestUsageLedger:
+    def test_totals_accumulate_per_tenant(self):
+        from repro.core.accounting import TenantUsage, UsageLedger
+
+        ledger = UsageLedger()
+        ledger.record("acme", outcome="done", wall_s=0.5, iterations=3,
+                      communication_bits=100)
+        ledger.record("acme", outcome="failed", wall_s=0.25, iterations=1,
+                      communication_bits=40)
+        ledger.record("tiny", outcome="done", wall_s=1.0)
+        acme = ledger.totals("acme")
+        assert acme.tickets == 2
+        assert acme.done == 1
+        assert acme.failed == 1
+        assert acme.wall_s == pytest.approx(0.75)
+        assert acme.iterations == 4
+        assert acme.communication_bits == 140
+        assert sorted(ledger.tenants()) == ["acme", "tiny"]
+        # Unknown tenants read as zero usage, not an error.
+        fresh = ledger.totals("nobody")
+        assert isinstance(fresh, TenantUsage)
+        assert fresh.tickets == 0
+
+    def test_totals_returns_a_snapshot(self):
+        from repro.core.accounting import UsageLedger
+
+        ledger = UsageLedger()
+        ledger.record("acme", outcome="done", iterations=2)
+        snapshot = ledger.totals("acme")
+        ledger.record("acme", outcome="done", iterations=2)
+        assert snapshot.iterations == 2  # unaffected by the later record
+        assert ledger.totals("acme").iterations == 4
+
+    def test_jsonl_append(self, tmp_path):
+        import json
+
+        from repro.core.accounting import UsageLedger
+
+        path = tmp_path / "usage.jsonl"
+        ledger = UsageLedger(path)
+        ledger.record("acme", outcome="done", wall_s=0.1, iterations=2,
+                      communication_bits=64, ticket="t1", model="streaming")
+        ledger.record("tiny", outcome="failed", ticket="t2", model="mpc")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0]["tenant"] == "acme"
+        assert lines[0]["ticket"] == "t1"
+        assert lines[0]["communication_bits"] == 64
+        assert lines[1]["outcome"] == "failed"
+        assert all("ts" in line for line in lines)

@@ -106,3 +106,39 @@ def test_bench_wraps_run_suite(tmp_path, capsys):
     assert code == 0
     report = json.loads(out.read_text())
     assert report["scenarios"][0]["id"] == "lp:sequential:small"
+
+
+def test_serve_parser_accepts_all_flags(tmp_path):
+    from repro.api.cli import build_parser
+
+    tenants = tmp_path / "tenants.json"
+    tenants.write_text('{"secret": {"tenant": "acme", "max_concurrent": 2}}')
+    args = build_parser().parse_args(
+        [
+            "serve",
+            "--host", "0.0.0.0",
+            "--port", "0",
+            "--model", "coordinator",
+            "--workers", "4",
+            "--tenants", str(tenants),
+            "--no-anonymous",
+            "--usage-log", str(tmp_path / "usage.jsonl"),
+            "--set", "num_sites=3",
+            "--set", "seed=7",
+        ]
+    )
+    assert args.host == "0.0.0.0"
+    assert args.port == 0
+    assert args.model == "coordinator"
+    assert args.workers == 4
+    assert args.anonymous is False
+    assert args.set == ["num_sites=3", "seed=7"]
+
+
+def test_serve_defaults_to_anonymous_none():
+    from repro.api.cli import build_parser
+
+    args = build_parser().parse_args(["serve"])
+    assert args.anonymous is None
+    assert args.port == 8731
+    assert args.model == "streaming"

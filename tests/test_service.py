@@ -133,3 +133,53 @@ def test_concurrent_submissions_from_many_threads(problems):
     reference = solve(problems[0], model="streaming", r=2, **FAST).value
     assert values[0] == reference
     assert len(values) == 6
+
+
+def test_stats_exposes_queue_depth_running_and_tenants(problems):
+    with SolverService(model="streaming", max_workers=2, r=2, **FAST) as svc:
+        stats = svc.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["running"] == 0
+        assert stats["max_workers"] == 2
+        assert stats["tenants"] == {}
+
+        tickets = [
+            svc.submit(problem, tenant="acme") for problem in problems[:2]
+        ] + [svc.submit(problems[2], tenant="tiny"), svc.submit(problems[3])]
+        depth = svc.stats()
+        # Everything submitted is queued, running, or already finished.
+        assert (
+            depth["queue_depth"] + depth["running"] + depth["done"]
+            == len(tickets)
+        )
+        for ticket in tickets:
+            ticket.result(timeout=120)
+        final = svc.stats()
+    assert final["queue_depth"] == 0
+    assert final["running"] == 0
+    assert final["done"] == len(tickets)
+    # Per-tenant breakdown: named tenants plus the anonymous bucket.
+    assert final["tenants"]["acme"]["submitted"] == 2
+    assert final["tenants"]["acme"]["done"] == 2
+    assert final["tenants"]["acme"]["failed"] == 0
+    assert final["tenants"]["tiny"] == {
+        "submitted": 1,
+        "done": 1,
+        "failed": 0,
+        "cancelled": 0,
+    }
+    # Tickets submitted without a tenant count only in the totals.
+    assert set(final["tenants"]) == {"acme", "tiny"}
+
+
+def test_progress_callback_sees_iteration_and_round_events(problems):
+    events: list[dict] = []
+    with SolverService(model="streaming", max_workers=1, r=2, **FAST) as svc:
+        result = svc.submit(problems[0], on_progress=events.append).result(
+            timeout=120
+        )
+    iteration_events = [e for e in events if e["event"] == "iteration"]
+    round_events = [e for e in events if e["event"] == "round"]
+    assert len(iteration_events) == result.iterations
+    assert len(round_events) >= result.iterations
+    assert iteration_events[-1]["successful"] is True

@@ -495,3 +495,54 @@ def test_describe_model_exposes_session_capabilities():
         assert info["session"]["ingest"] is True
         assert "inprocess" in info["session"]["transports"]
     assert repro.describe_model("exact")["session"]["warm_restart"] is False
+
+
+def test_session_pool_pins_one_session_per_model():
+    from repro import SessionPool
+
+    with SessionPool(r=2, **FAST) as pool:
+        streaming = pool.get("streaming")
+        assert pool.get("streaming") is streaming  # cached, not rebuilt
+        sequential = pool.get("sequential")
+        assert sequential is not streaming
+        assert len(pool) == 2
+        assert "streaming" in pool and "mpc" not in pool
+        assert sorted(pool.keys()) == ["sequential", "streaming"]
+
+        problem = random_polytope_lp(800, 2, seed=50).problem
+        pooled = streaming.run_cold(problem)
+        direct = repro.solve(problem, model="streaming", r=2, **FAST)
+        assert pooled.basis_indices == direct.basis_indices
+
+    # close() closed every pooled session and sealed the pool.
+    with pytest.raises(SessionError):
+        pool.get("streaming")
+
+
+def test_session_pool_discard_closes_one_session():
+    from repro import SessionPool
+
+    pool = SessionPool(**FAST)
+    session = pool.get("sequential")
+    pool.discard("sequential")
+    assert "sequential" not in pool
+    with pytest.raises(SessionError):
+        session.solve(random_polytope_lp(200, 2, seed=50).problem)
+    # A fresh session replaces the discarded one on the next get().
+    assert pool.get("sequential") is not session
+    pool.close()
+
+
+def test_session_pool_custom_factory():
+    from repro import SessionPool
+
+    built: list[str] = []
+
+    def factory(key: str):
+        built.append(key)
+        return repro.session(model=key, **FAST)
+
+    with SessionPool(factory=factory) as pool:
+        pool.get("sequential")
+        pool.get("sequential")
+    assert built == ["sequential"]
