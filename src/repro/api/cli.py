@@ -148,8 +148,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         **overrides,
     )
-    print(f"repro server listening on {server.url} (model={args.model})", flush=True)
+    # Orchestrators stop containers with SIGTERM, not SIGINT: route it
+    # through the same clean-drain path as Ctrl-C.  Installed before the
+    # "listening on" announcement so a supervisor that signals as soon as
+    # the server reports ready cannot race the handler.  Installing a
+    # handler only works on the main thread — anywhere else, keep the
+    # default.
+    import signal
+
+    def _sigterm(_signum: int, _frame: Any) -> None:
+        raise KeyboardInterrupt
+
     try:
+        signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:
+        pass
+    try:
+        print(
+            f"repro server listening on {server.url} (model={args.model})",
+            flush=True,
+        )
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down (draining in-flight tickets) ...", flush=True)

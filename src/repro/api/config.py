@@ -25,6 +25,7 @@ used by the examples and benchmarks.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
@@ -77,12 +78,26 @@ class TransportConfig:
     start_method:
         :mod:`multiprocessing` start method for the workers (``"spawn"``
         inherits nothing and behaves identically on every platform).
+    supervised:
+        With ``kind="process"``, run the pool under the resilience layer's
+        supervisor (:class:`~repro.resilience.supervisor.SupervisedProcessPoolTransport`):
+        crash detection, bounded worker restart with journal-replay state
+        recovery, and graceful degradation to in-process execution.  Results
+        stay bit-identical to the unsupervised pool (and to in-process).
+    max_restarts:
+        Restart budget per worker failure under supervision (``0`` disables
+        restarts: the first crash degrades immediately).
+    restart_backoff_s:
+        Base delay of the supervisor's exponential restart backoff.
     """
 
     kind: str = "inprocess"
     max_workers: int = 2
     reuse_pool: bool = True
     start_method: str = "spawn"
+    supervised: bool = False
+    max_restarts: int = 3
+    restart_backoff_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.kind not in TRANSPORT_KINDS:
@@ -99,6 +114,42 @@ class TransportConfig:
                 "TransportConfig.start_method must be 'spawn', 'fork', or "
                 f"'forkserver' (got {self.start_method!r})"
             )
+        if self.max_restarts < 0:
+            raise InvalidConfigError(
+                f"TransportConfig.max_restarts must be >= 0 (got {self.max_restarts!r})"
+            )
+        if self.restart_backoff_s < 0:
+            raise InvalidConfigError(
+                "TransportConfig.restart_backoff_s must be >= 0 "
+                f"(got {self.restart_backoff_s!r})"
+            )
+
+
+def _coerce_transport(config: Any) -> None:
+    """Accept a plain mapping for a config's ``transport`` field.
+
+    The CLI's ``--set transport={"kind": "process", "supervised": true}``
+    hands the server a JSON object; coercing it here (in each frozen config's
+    ``__post_init__``) keeps every entry path — facade kwargs, server
+    overrides, ``construct_config`` — accepting either form.
+    """
+    value = getattr(config, "transport", None)
+    if value is None or isinstance(value, TransportConfig):
+        return
+    if isinstance(value, Mapping):
+        known = {f.name for f in fields(TransportConfig)}
+        unknown = sorted(set(value) - known)
+        if unknown:
+            raise InvalidConfigError(
+                f"unknown TransportConfig field(s) {unknown} "
+                f"(known: {sorted(known)})"
+            )
+        object.__setattr__(config, "transport", TransportConfig(**dict(value)))
+        return
+    raise InvalidConfigError(
+        f"{type(config).__name__}.transport must be a TransportConfig or a "
+        f"mapping of its fields (got {type(value).__name__})"
+    )
 
 
 @dataclass(frozen=True)
@@ -262,6 +313,10 @@ class StreamingConfig(SolverConfig):
     order: Optional[Sequence[int]] = None
     transport: Optional[TransportConfig] = None
 
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _coerce_transport(self)
+
 
 @dataclass(frozen=True)
 class CoordinatorConfig(SolverConfig):
@@ -306,6 +361,7 @@ class CoordinatorConfig(SolverConfig):
             self.topology,
         )
         self._check(self.fanout >= 2, "fanout", "must be >= 2", self.fanout)
+        _coerce_transport(self)
 
 
 @dataclass(frozen=True)
@@ -342,6 +398,7 @@ class MPCConfig(SolverConfig):
             self._check(
                 self.num_machines >= 1, "num_machines", "must be >= 1", self.num_machines
             )
+        _coerce_transport(self)
 
 
 def construct_config(cls: type, values: dict[str, Any]) -> SolverConfig:

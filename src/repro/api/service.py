@@ -30,9 +30,23 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Iterable, Optional
 
-from ..core.budget import ProgressTap, ResourceBudget, metered, tapping
-from ..core.exceptions import BudgetExceededError, SessionError
+from ..core.budget import (
+    CheckpointStore,
+    ProgressTap,
+    ResourceBudget,
+    checkpointing,
+    metered,
+    tapping,
+)
+from ..core.exceptions import (
+    BudgetExceededError,
+    CommunicationError,
+    SessionError,
+    TransportFailure,
+)
 from ..core.result import SolveResult
+from ..resilience.circuit import CircuitBreaker
+from ..resilience.retry import RetryPolicy
 from .config import SolverConfig
 from .session import Session
 
@@ -119,6 +133,16 @@ class SolverService:
     session:
         Optional externally-owned :class:`Session` to serve from instead of
         creating one (it is *not* closed on shutdown).
+    retry_policy:
+        Bounds the per-ticket retry of *retryable*
+        :class:`~repro.core.exceptions.TransportFailure`: a ticket whose
+        transport crashed is re-run (resuming from the engine's latest
+        checkpoint when the model has a warm runner) up to
+        ``retry_policy.max_attempts`` total attempts.
+    circuit_breaker:
+        The per-service :class:`~repro.resilience.circuit.CircuitBreaker`;
+        repeated infrastructure failures open it and :meth:`submit` sheds
+        load with :class:`~repro.core.exceptions.CircuitOpenError`.
     """
 
     def __init__(
@@ -127,6 +151,8 @@ class SolverService:
         config: Optional[SolverConfig] = None,
         max_workers: int = 2,
         session: Optional[Session] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        circuit_breaker: Optional[CircuitBreaker] = None,
         **overrides: Any,
     ) -> None:
         if max_workers < 1:
@@ -139,12 +165,23 @@ class SolverService:
             max_workers=int(max_workers), thread_name_prefix="repro-service"
         )
         self.max_workers = int(max_workers)
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=2, backoff_s=0.05, max_backoff_s=0.5
+        )
+        self.breaker = circuit_breaker or CircuitBreaker(
+            failure_threshold=5,
+            window_s=60.0,
+            cooldown_s=1.0,
+            model=self._session.spec.name,
+        )
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._shutdown = False
         self._counters = {state: 0 for state in ("submitted", "done", "failed", "cancelled")}
         self._running = 0
         self._tenant_counters: dict[str, dict[str, int]] = {}
+        self._transport_retries = 0
+        self._checkpoint_resumes = 0
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -219,6 +256,9 @@ class SolverService:
                 "running": self._running,
                 "queue_depth": max(0, queued),
                 "max_workers": self.max_workers,
+                "transport_retries": self._transport_retries,
+                "checkpoint_resumes": self._checkpoint_resumes,
+                "circuit": self.breaker.describe(),
                 "tenants": {
                     tenant: dict(bucket)
                     for tenant, bucket in self._tenant_counters.items()
@@ -250,6 +290,10 @@ class SolverService:
         """
         if deadline_s is not None and deadline_s <= 0:
             raise SessionError(f"deadline_s must be > 0 (got {deadline_s!r})")
+        # Shed load *before* building config or touching the queue: an open
+        # breaker means the session's infrastructure is broken and queueing
+        # more work onto it only deepens the outage.
+        self.breaker.allow()
         config = self._session._config_for(overrides)
         ticket = Ticket(next(self._ids), deadline_s, budget, tenant=tenant)
         tap = ProgressTap(on_progress) if on_progress is not None else None
@@ -326,13 +370,59 @@ class SolverService:
             self._running += 1
         try:
             budget = self._effective_budget(ticket)
-            # The meter and tap live in *this* worker thread's context
-            # (contextvars do not cross threads), anchored at execution
-            # start — the deadline's queue wait is already folded into the
-            # budget.
-            with metered(budget, started_at=ticket.started_at), tapping(tap):
-                result = self._session.run_cold(problem, config)
+            # Per-ticket resilience: a retryable transport failure re-runs
+            # the solve up to retry_policy.max_attempts total attempts,
+            # resuming from the engine's latest checkpoint (the accumulated
+            # basis witnesses) when the model supports warm runs — the
+            # warm==cold determinism contract guarantees the resumed solve
+            # certifies the same basis, value, and witness.  Every attempt's
+            # meter stays anchored at execution start, so the wall budget is
+            # end-to-end across retries.
+            store = CheckpointStore()
+            attempt = 0
+            resumed = False
+            while True:
+                warm = None
+                checkpoint = store.latest()
+                if (
+                    attempt > 0
+                    and checkpoint is not None
+                    and self._session.spec.warm_runner is not None
+                ):
+                    warm = list(checkpoint.witnesses)
+                try:
+                    # Meter, tap, and checkpoint store live in *this* worker
+                    # thread's context (contextvars do not cross threads).
+                    with metered(budget, started_at=ticket.started_at), tapping(
+                        tap
+                    ), checkpointing(store):
+                        result = self._session.run_cold(
+                            problem, config, warm_witnesses=warm
+                        )
+                    if warm is not None:
+                        resumed = True
+                    break
+                except TransportFailure as exc:
+                    self.breaker.record_failure()
+                    attempt += 1
+                    if not exc.retryable or attempt >= self.retry_policy.max_attempts:
+                        raise
+                    with self._lock:
+                        self._transport_retries += 1
+                    time.sleep(self.retry_policy.delay(attempt - 1))
+            result.resources.transport_retries += attempt
+            if resumed:
+                result.resources.checkpoint_resumes += 1
+                with self._lock:
+                    self._checkpoint_resumes += 1
+            self.breaker.record_success()
         except BaseException as exc:  # noqa: BLE001 - forwarded to the ticket
+            if isinstance(exc, CommunicationError) and not isinstance(
+                exc, TransportFailure
+            ):
+                # Infrastructure failure not already counted by the retry
+                # loop above (TransportFailures were recorded per attempt).
+                self.breaker.record_failure()
             # Outcome first, bookkeeping second: status/error key off the
             # future, so they must never observe "finished" before it is set.
             ticket._future.set_exception(exc)

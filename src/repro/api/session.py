@@ -48,6 +48,7 @@ import numpy as np
 from ..core.budget import ResourceBudget, metered
 from ..core.exceptions import InvalidConfigError, SessionError
 from ..core.result import ResourceUsage, SolveResult, WarmStats
+from ..resilience.faults import recovery_scope
 from ..fabric.transport import (
     ProcessPoolTransport,
     Transport,
@@ -483,15 +484,31 @@ class Session:
             and transport_cfg.kind == "process"
             and "process" in self.spec.transports
         ):
+            supervised = bool(getattr(transport_cfg, "supervised", False))
             if transport_cfg.reuse_pool:
                 self._transport = shared_process_transport(
-                    transport_cfg.max_workers, transport_cfg.start_method
+                    transport_cfg.max_workers,
+                    transport_cfg.start_method,
+                    supervised=supervised,
                 )
             else:
-                pool = ProcessPoolTransport(
-                    max_workers=transport_cfg.max_workers,
-                    start_method=transport_cfg.start_method,
-                )
+                if supervised:
+                    from ..resilience.retry import RetryPolicy
+                    from ..resilience.supervisor import SupervisedProcessPoolTransport
+
+                    pool: ProcessPoolTransport = SupervisedProcessPoolTransport(
+                        max_workers=transport_cfg.max_workers,
+                        start_method=transport_cfg.start_method,
+                        restart_policy=RetryPolicy(
+                            max_attempts=transport_cfg.max_restarts,
+                            backoff_s=transport_cfg.restart_backoff_s,
+                        ),
+                    )
+                else:
+                    pool = ProcessPoolTransport(
+                        max_workers=transport_cfg.max_workers,
+                        start_method=transport_cfg.start_method,
+                    )
                 self._transport = pool
                 self._owns_transport = True
             if self._warm_tracking:
@@ -560,26 +577,51 @@ class Session:
         warm_witnesses: Optional[list],
         budget: Optional[ResourceBudget],
     ) -> SolveResult:
-        """One driver run under the session's transport pin and budget meter."""
-        with pinned_transport(self._transport), metered(budget):
+        """One driver run under the session's transport pin and budget meter.
+
+        A :func:`~repro.resilience.faults.recovery_scope` wraps the run so
+        the supervised transport can report what it did; worker restarts are
+        folded into the result's ``transport_retries`` usage counter, and a
+        degradation to in-process execution is flagged in the metadata.
+        """
+        with pinned_transport(self._transport), metered(budget), recovery_scope() as notes:
             if warm_witnesses is not None and self.spec.warm_runner is not None:
-                return self.spec.warm_runner(problem, config, warm_witnesses)
-            return self.spec.runner(problem, config)
+                result = self.spec.warm_runner(problem, config, warm_witnesses)
+            else:
+                result = self.spec.runner(problem, config)
+        if notes.restarts:
+            result.resources.transport_retries += notes.restarts
+        if notes.degraded:
+            result.metadata["transport_degraded"] = True
+        return result
+
+    def transport_health(self) -> dict:
+        """The pinned transport's liveness/degradation summary."""
+        if self._transport is None:
+            return {"kind": "inprocess", "supervised": False, "degraded": False}
+        return self._transport.health()
 
     def run_cold(
         self,
         problem: "LPTypeProblem",
         config: Optional[SolverConfig] = None,
         budget: Optional[ResourceBudget] = None,
+        warm_witnesses: Optional[list] = None,
     ) -> SolveResult:
         """A stateless solve on the session's transport (service/batch path).
 
         Does not touch the session's problem or warm state, so concurrent
         ``run_cold`` calls (the :class:`~repro.api.service.SolverService`
-        worker threads, ``solve_many``) are safe.
+        worker threads, ``solve_many``) are safe.  ``warm_witnesses`` (for
+        models with a warm runner) resumes from checkpointed basis
+        witnesses: by the warm==cold determinism contract the resumed solve
+        certifies the same basis, value, and witness as an uninterrupted
+        run — this is the service's checkpoint-recovery path.
         """
         self._check_open()
-        return self._execute(problem, config or self.config, None, budget)
+        if warm_witnesses is not None and self.spec.warm_runner is None:
+            warm_witnesses = None
+        return self._execute(problem, config or self.config, warm_witnesses, budget)
 
     def solve(
         self,
@@ -810,6 +852,7 @@ class SessionPool:
         self._sessions: dict[Any, Session] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._replacements: dict[Any, int] = {}
 
     def _build(self, key: Any) -> Session:
         if self._factory is not None:
@@ -853,6 +896,28 @@ class SessionPool:
             session_obj = self._sessions.pop(key, None)
         if session_obj is not None:
             session_obj.close()
+
+    def replace(self, key: Any) -> Session:
+        """Swap a poisoned session for a fresh one (auto-replacement path).
+
+        The server calls this when a ticket fails with a terminal
+        (``retryable=False``) transport failure: the old session — and its
+        broken worker pool — is closed and a replacement is built on the
+        spot, so the next ticket for this key runs on healthy workers.
+        """
+        with self._lock:
+            if self._closed:
+                raise SessionError("session pool is closed")
+            session_obj = self._sessions.pop(key, None)
+            self._replacements[key] = self._replacements.get(key, 0) + 1
+        if session_obj is not None:
+            session_obj.close()
+        return self.get(key)
+
+    def replacements(self) -> dict:
+        """How many times each key's session was replaced."""
+        with self._lock:
+            return dict(self._replacements)
 
     def close(self) -> None:
         """Close every pooled session and reject further use."""

@@ -41,8 +41,12 @@ __all__ = [
     "ResourceBudget",
     "BudgetMeter",
     "ProgressTap",
+    "Checkpoint",
+    "CheckpointStore",
+    "active_checkpoint",
     "active_meter",
     "active_tap",
+    "checkpointing",
     "metered",
     "tapping",
 ]
@@ -231,3 +235,81 @@ def tapping(tap: Optional[ProgressTap]) -> Iterator[Optional[ProgressTap]]:
         yield tap
     finally:
         _ACTIVE_TAP.reset(token)
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One recoverable snapshot of an in-flight solve.
+
+    The engine's entire recoverable state after a successful iteration is
+    the list of certified basis witnesses accumulated so far — the same
+    Section-3.2 representation the warm-start path consumes — because the
+    warm==cold determinism contract guarantees that re-solving on the union
+    of those witnesses certifies the same basis as finishing the original
+    run.  ``iteration`` records how far the solve had progressed when the
+    snapshot was taken (for accounting; the resume itself is witness-driven).
+    """
+
+    iteration: int
+    witnesses: tuple
+
+
+class CheckpointStore:
+    """Collects engine checkpoints during one solve.
+
+    Installed with :func:`checkpointing` (the same contextvar pattern as
+    budget meters and progress taps), consulted by the engine loop after
+    every *successful* iteration: every ``interval``-th accumulated witness
+    snapshots the full witness list.  The store is in-memory and per-ticket;
+    the service's retry path reads :meth:`latest` to resume a solve whose
+    transport failed mid-run instead of restarting from scratch.
+    """
+
+    def __init__(self, interval: int = 1) -> None:
+        if int(interval) < 1:
+            raise InvalidConfigError(
+                f"CheckpointStore.interval must be >= 1, got {interval!r}"
+            )
+        self.interval = int(interval)
+        self.snapshots = 0
+        self._latest: Optional[Checkpoint] = None
+
+    def record(self, iteration: int, witnesses: Any) -> None:
+        """Snapshot the witness list if it hit an interval boundary."""
+        count = len(witnesses)
+        if count == 0 or count % self.interval != 0:
+            return
+        self._latest = Checkpoint(iteration=int(iteration), witnesses=tuple(witnesses))
+        self.snapshots += 1
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent snapshot, or ``None`` if nothing was recorded."""
+        return self._latest
+
+
+_ACTIVE_CHECKPOINT: ContextVar[Optional[CheckpointStore]] = ContextVar(
+    "repro_checkpoint_store", default=None
+)
+
+
+def active_checkpoint() -> Optional[CheckpointStore]:
+    """The checkpoint store of the enclosing solve, if any."""
+    return _ACTIVE_CHECKPOINT.get()
+
+
+@contextmanager
+def checkpointing(store: Optional[CheckpointStore]) -> Iterator[Optional[CheckpointStore]]:
+    """Install a checkpoint store for the duration of one solve.
+
+    ``None`` installs nothing (the unsupervised hot path stays a single
+    ``None`` check per successful iteration).  Like meters and taps, stores
+    do not nest: an inner ``checkpointing`` replaces the outer one.
+    """
+    if store is None:
+        yield None
+        return
+    token = _ACTIVE_CHECKPOINT.set(store)
+    try:
+        yield store
+    finally:
+        _ACTIVE_CHECKPOINT.reset(token)

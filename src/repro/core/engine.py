@@ -39,7 +39,7 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from .budget import active_meter, active_tap
+from .budget import active_checkpoint, active_meter, active_tap
 from .exceptions import InvalidConfigError, IterationLimitError
 from .lptype import BasisResult, LPTypeProblem
 from .result import IterationRecord
@@ -360,6 +360,10 @@ class ClarksonEngine:
         # tap (if any) is the service front end's SSE feed.
         meter = active_meter()
         tap = active_tap()
+        # Checkpoint store (if any): snapshotted after each successful
+        # iteration so a transport failure can resume from the accumulated
+        # witnesses instead of restarting the solve.
+        store = active_checkpoint()
 
         for iteration in range(config.budget):
             if meter is not None:
@@ -396,6 +400,8 @@ class ClarksonEngine:
                 self.substrate.boost(stats)
                 successful += 1
                 successful_witnesses.append(basis.witness)
+                if store is not None:
+                    store.record(iteration, successful_witnesses)
         else:
             raise IterationLimitError(
                 f"{config.name} did not terminate within {config.budget} iterations "

@@ -76,6 +76,68 @@ class CommunicationError(ReproError):
     """
 
 
+class TransportFailure(CommunicationError):
+    """Raised when a transport's execution substrate fails mid-flight.
+
+    Distinguishes *infrastructure* failures (a worker process died, a pipe
+    broke, a pool could not be restarted) from the task-level
+    :class:`CommunicationError` a worker reports when user code raises.
+    Callers use :attr:`retryable` to decide whether re-running the solve can
+    succeed:
+
+    Attributes
+    ----------
+    retryable:
+        ``True`` when the failure is transient (the supervised transport
+        restarted the worker, or a fresh attempt may find a healthy pool);
+        ``False`` when the transport is terminally broken (restart budget
+        exhausted and degradation disabled) and the owning session should be
+        replaced.
+    worker:
+        Index of the worker that failed, when known.
+    attempts:
+        How many recovery attempts were made before giving up (``0`` for a
+        first-time failure that was not yet retried).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retryable: bool = False,
+        worker: int | None = None,
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.retryable = bool(retryable)
+        self.worker = worker
+        self.attempts = int(attempts)
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a circuit breaker refuses work to shed load.
+
+    The service opens a per-model breaker after repeated infrastructure
+    failures so that queued tickets are rejected fast (the server maps this
+    to a structured 503 with ``Retry-After``) instead of piling onto a
+    broken session.
+
+    Attributes
+    ----------
+    retry_after_s:
+        Seconds until the breaker will admit a probe request again.
+    model:
+        The model whose breaker is open, when known.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after_s: float = 1.0, model: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+        self.model = str(model)
+
+
 class ProtocolError(ReproError):
     """Raised when a two-party communication protocol is used incorrectly."""
 

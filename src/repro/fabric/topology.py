@@ -28,6 +28,7 @@ the same four aggregate currencies — ``rounds``, ``total_bits``,
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -35,6 +36,7 @@ import numpy as np
 from ..core.accounting import BitCostModel, RoundLedger
 from ..core.budget import active_meter
 from ..core.exceptions import CommunicationError
+from ..resilience.faults import active_fault_plan
 from .payload import Payload
 from .transport import InProcessTransport, Transport, new_session
 
@@ -94,6 +96,15 @@ class Topology:
     ) -> list[Any]:
         """Run ``fn(state, *args) -> (state, result)`` on the listed nodes."""
         ids = list(range(self.num_nodes)) if node_ids is None else list(node_ids)
+        plan = getattr(self.transport, "_fault_plan", None) or active_fault_plan()
+        if plan is not None:
+            # Chaos probe: a matching ``slow_node`` spec stalls this node's
+            # dispatch — pure latency, never divergence, so faulted solves
+            # stay bit-identical.
+            for node_id in ids:
+                spec = plan.take("node", node=node_id)
+                if spec is not None and spec.kind == "slow_node" and spec.delay_s > 0:
+                    time.sleep(spec.delay_s)
         return self.transport.run_nodes(self.session, ids, fn, args_list)
 
     def run_on(self, node_id: int, fn: Callable[..., Any], *args: Any) -> Any:

@@ -37,7 +37,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence
 
-from ..core.exceptions import CommunicationError
+from ..core.exceptions import CommunicationError, TransportFailure
+from ..resilience.faults import active_fault_plan, faulted_delivery
 from .payload import Payload, decode_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -102,6 +103,27 @@ class Transport:
     name = "transport"
     private = False
 
+    #: Fault plan attached directly to this transport (chaos tests that must
+    #: reach thread-pool workers, where the ambient contextvar plan does not
+    #: travel).  ``None`` means "consult the ambient plan only".
+    _fault_plan = None
+
+    def attach_fault_plan(self, plan) -> None:
+        """Attach a :class:`~repro.resilience.faults.FaultPlan` (or ``None``).
+
+        Unlike :func:`~repro.resilience.faults.fault_injection`, an attached
+        plan is consulted from *every* thread that uses this transport.
+        """
+        self._fault_plan = plan
+
+    def _active_plan(self):
+        plan = self._fault_plan
+        return plan if plan is not None else active_fault_plan()
+
+    def health(self) -> dict:
+        """Liveness / degradation summary (deepened by supervised pools)."""
+        return {"kind": self.name, "supervised": False, "degraded": False}
+
     def init_shared(self, session: str, key: str, value: Any) -> None:
         """Install one session-shared object (referenced via ``SharedRef``)."""
         raise NotImplementedError
@@ -160,6 +182,9 @@ class InProcessTransport(Transport):
         return results
 
     def deliver(self, payload: Payload) -> Payload:
+        plan = self._active_plan()
+        if plan is not None:
+            return faulted_delivery(plan, payload, lambda p: p)
         return payload
 
     def release(self, session: str) -> None:
@@ -203,6 +228,8 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a child process
                     states[key] = state
                     results.append(pickle.dumps(result))
                 conn.send(("ok", results))
+            elif command == "ping":
+                conn.send(("ok", "pong"))
             elif command == "release":
                 _, session = message
                 for key in [k for k in states if k[0] == session]:
@@ -286,8 +313,13 @@ class ProcessPoolTransport(Transport):
         try:
             conn.send(message)
         except (OSError, BrokenPipeError, ValueError) as exc:
-            raise CommunicationError(
-                f"worker {worker} is unreachable (died?): {exc!r}"
+            # Pipe-level failure: the worker process is gone or wedged.  This
+            # is an *infrastructure* fault (retryable — a supervised pool can
+            # restart the worker), unlike the task-level error reply below.
+            raise TransportFailure(
+                f"worker {worker} is unreachable (died?): {exc!r}",
+                retryable=True,
+                worker=worker,
             ) from exc
 
     def _recv(self, worker: int) -> Any:
@@ -295,10 +327,14 @@ class ProcessPoolTransport(Transport):
         try:
             status, body = conn.recv()
         except (EOFError, OSError) as exc:
-            raise CommunicationError(
-                f"worker {worker} died mid-request: {exc!r}"
+            raise TransportFailure(
+                f"worker {worker} died mid-request: {exc!r}",
+                retryable=True,
+                worker=worker,
             ) from exc
         if status == "error":
+            # The worker is alive and replied: user task code raised.  Not a
+            # transport fault — restarting workers cannot fix it.
             raise CommunicationError(f"worker {worker} failed:\n{body}")
         return body
 
@@ -368,6 +404,11 @@ class ProcessPoolTransport(Transport):
         return [pickle.loads(raw[worker][position]) for worker, position in order]
 
     def deliver(self, payload: Payload) -> Payload:
+        plan = self._active_plan()
+        if plan is not None:
+            return faulted_delivery(
+                plan, payload, lambda p: decode_payload(p.to_bytes())
+            )
         return decode_payload(payload.to_bytes())
 
     def release(self, session: str) -> None:
@@ -395,25 +436,39 @@ class ProcessPoolTransport(Transport):
         self._started = False
 
 
-_SHARED_POOLS: dict[tuple[int, str], ProcessPoolTransport] = {}
+_SHARED_POOLS: dict[tuple[int, str, bool], ProcessPoolTransport] = {}
 _SHARED_POOLS_LOCK = threading.Lock()
 
 
 def shared_process_transport(
-    max_workers: int = 2, start_method: str = "spawn"
+    max_workers: int = 2, start_method: str = "spawn", supervised: bool = False
 ) -> ProcessPoolTransport:
     """A process-wide pool shared by every solve that asks for these knobs.
 
     Worker start-up (a fresh interpreter plus imports under ``spawn``) is paid
-    once per ``(max_workers, start_method)`` pair instead of once per solve;
-    sessions namespace the node states, so sharing is invisible to callers.
-    The pools are closed atexit.
+    once per ``(max_workers, start_method, supervised)`` triple instead of
+    once per solve; sessions namespace the node states, so sharing is
+    invisible to callers.  ``supervised=True`` returns a
+    :class:`~repro.resilience.supervisor.SupervisedProcessPoolTransport`
+    (crash detection, bounded restart, journal replay) instead of the bare
+    pool.  The pools are closed atexit.
     """
-    key = (int(max_workers), start_method)
+    key = (int(max_workers), start_method, bool(supervised))
     with _SHARED_POOLS_LOCK:
         pool = _SHARED_POOLS.get(key)
         if pool is None:
-            pool = ProcessPoolTransport(max_workers=max_workers, start_method=start_method)
+            if supervised:
+                # Imported lazily: the supervisor module subclasses
+                # ProcessPoolTransport, so a top-level import would cycle.
+                from ..resilience.supervisor import SupervisedProcessPoolTransport
+
+                pool = SupervisedProcessPoolTransport(
+                    max_workers=max_workers, start_method=start_method
+                )
+            else:
+                pool = ProcessPoolTransport(
+                    max_workers=max_workers, start_method=start_method
+                )
             _SHARED_POOLS[key] = pool
     return pool
 
@@ -475,11 +530,27 @@ def resolve_transport(config: "TransportConfig | None") -> Transport:
     if config is None or config.kind == "inprocess":
         return InProcessTransport()
     if config.kind == "process":
+        supervised = bool(getattr(config, "supervised", False))
         if config.reuse_pool:
-            return shared_process_transport(config.max_workers, config.start_method)
-        transport = ProcessPoolTransport(
-            max_workers=config.max_workers, start_method=config.start_method
-        )
+            return shared_process_transport(
+                config.max_workers, config.start_method, supervised=supervised
+            )
+        if supervised:
+            from ..resilience.supervisor import SupervisedProcessPoolTransport
+            from ..resilience.retry import RetryPolicy
+
+            transport: ProcessPoolTransport = SupervisedProcessPoolTransport(
+                max_workers=config.max_workers,
+                start_method=config.start_method,
+                restart_policy=RetryPolicy(
+                    max_attempts=getattr(config, "max_restarts", 3),
+                    backoff_s=getattr(config, "restart_backoff_s", 0.05),
+                ),
+            )
+        else:
+            transport = ProcessPoolTransport(
+                max_workers=config.max_workers, start_method=config.start_method
+            )
         transport.private = True
         return transport
     raise CommunicationError(f"unknown transport kind {config.kind!r}")

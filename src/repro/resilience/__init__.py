@@ -1,0 +1,71 @@
+"""Fault tolerance for the fabric, the session layer, and the service.
+
+Four pieces, spanning the stack:
+
+* :mod:`~repro.resilience.faults` — seeded, deterministic fault injection
+  (:class:`FaultPlan`) consulted by transports and topologies through the
+  same contextvar pattern as budget meters and progress taps, plus the
+  :class:`RecoveryNotes` scope that reports what recovery did.
+* :mod:`~repro.resilience.supervisor` — the supervised
+  :class:`SupervisedProcessPoolTransport`: crash detection, bounded restart
+  with backoff + jitter, journal-replay state re-establishment, and graceful
+  degradation to in-process execution.
+* :mod:`~repro.resilience.retry` — the shared :class:`RetryPolicy`.
+* :mod:`~repro.resilience.circuit` — the per-model :class:`CircuitBreaker`
+  behind the service's structured 503s.
+
+Checkpointing (:class:`CheckpointStore`) lives in :mod:`repro.core.budget`
+next to its sibling contextvar concerns and is re-exported here.
+
+See ``docs/resilience.md`` for the fault model and recovery guarantees.
+"""
+
+from ..core.budget import (
+    Checkpoint,
+    CheckpointStore,
+    active_checkpoint,
+    checkpointing,
+)
+from .circuit import CircuitBreaker
+from .faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    RecoveryNotes,
+    active_fault_plan,
+    active_recovery_notes,
+    fault_injection,
+    faulted_delivery,
+    recovery_scope,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "Checkpoint",
+    "CheckpointStore",
+    "CircuitBreaker",
+    "FaultPlan",
+    "FaultSpec",
+    "RecoveryNotes",
+    "RetryPolicy",
+    "SupervisedProcessPoolTransport",
+    "active_checkpoint",
+    "active_fault_plan",
+    "active_recovery_notes",
+    "checkpointing",
+    "fault_injection",
+    "faulted_delivery",
+    "recovery_scope",
+]
+
+
+def __getattr__(name: str):
+    # The supervisor subclasses the fabric's ProcessPoolTransport while the
+    # fabric consults this package's fault plans — importing it lazily keeps
+    # the package import acyclic.
+    if name == "SupervisedProcessPoolTransport":
+        from .supervisor import SupervisedProcessPoolTransport
+
+        return SupervisedProcessPoolTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

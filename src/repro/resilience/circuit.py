@@ -1,0 +1,136 @@
+"""A per-model circuit breaker for the service front end.
+
+Classic three-state breaker: ``closed`` admits everything; repeated
+*infrastructure* failures (transport/communication errors — user errors
+like infeasibility never count) within a sliding window trip it ``open``,
+after which submissions are rejected immediately with a
+:class:`~repro.core.exceptions.CircuitOpenError` carrying ``retry_after_s``
+(the server maps this to a structured 503 + ``Retry-After``).  After the
+cooldown the breaker goes ``half_open`` and admits exactly one probe
+request: success closes it, failure re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque
+
+from ..core.exceptions import CircuitOpenError, InvalidConfigError
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Sheds load after repeated infrastructure failures.
+
+    Thread-safe; one breaker per (service, model).  ``clock`` is injectable
+    for tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        window_s: float = 60.0,
+        cooldown_s: float = 5.0,
+        *,
+        model: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise InvalidConfigError(
+                f"CircuitBreaker.failure_threshold must be >= 1, "
+                f"got {failure_threshold!r}"
+            )
+        if window_s <= 0 or cooldown_s <= 0:
+            raise InvalidConfigError(
+                "CircuitBreaker.window_s and cooldown_s must be > 0"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.window_s = float(window_s)
+        self.cooldown_s = float(cooldown_s)
+        self.model = str(model)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures: Deque[float] = deque()
+        self._state = "closed"
+        self._opened_at = 0.0
+        self._probing = False
+        self.rejected = 0
+
+    def state(self) -> str:
+        """Current state, advancing ``open`` -> ``half_open`` on cooldown."""
+        with self._lock:
+            self._advance(self._clock())
+            return self._state
+
+    def _advance(self, now: float) -> None:
+        if self._state == "open" and now - self._opened_at >= self.cooldown_s:
+            self._state = "half_open"
+            self._probing = False
+
+    def allow(self) -> None:
+        """Admit one request or raise :class:`CircuitOpenError`."""
+        with self._lock:
+            now = self._clock()
+            self._advance(now)
+            if self._state == "open":
+                self.rejected += 1
+                remaining = max(0.0, self.cooldown_s - (now - self._opened_at))
+                raise CircuitOpenError(
+                    f"circuit breaker is open for model {self.model or '?'}: "
+                    f"{self.failure_threshold} infrastructure failures within "
+                    f"{self.window_s:g}s; retry in {remaining:.2f}s",
+                    retry_after_s=max(remaining, 0.05),
+                    model=self.model,
+                )
+            if self._state == "half_open":
+                if self._probing:
+                    self.rejected += 1
+                    raise CircuitOpenError(
+                        f"circuit breaker for model {self.model or '?'} is "
+                        "half-open with a probe in flight",
+                        retry_after_s=self.cooldown_s,
+                        model=self.model,
+                    )
+                self._probing = True
+
+    def record_success(self) -> None:
+        """A solve completed: close the breaker and forget old failures."""
+        with self._lock:
+            self._state = "closed"
+            self._probing = False
+            self._failures.clear()
+
+    def record_failure(self) -> None:
+        """An infrastructure failure: count it; trip when the window fills."""
+        with self._lock:
+            now = self._clock()
+            self._advance(now)
+            if self._state == "half_open":
+                # The probe failed: straight back to open.
+                self._state = "open"
+                self._opened_at = now
+                self._probing = False
+                self._failures.clear()
+                return
+            self._failures.append(now)
+            while self._failures and now - self._failures[0] > self.window_s:
+                self._failures.popleft()
+            if len(self._failures) >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = now
+                self._failures.clear()
+
+    def describe(self) -> dict:
+        with self._lock:
+            self._advance(self._clock())
+            return {
+                "state": self._state,
+                "recent_failures": len(self._failures),
+                "failure_threshold": self.failure_threshold,
+                "window_s": self.window_s,
+                "cooldown_s": self.cooldown_s,
+                "rejected": self.rejected,
+            }

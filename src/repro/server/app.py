@@ -25,6 +25,7 @@ billed to its tenant through a :class:`~repro.core.accounting.UsageLedger`
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -38,10 +39,12 @@ from ..core.accounting import UsageLedger
 from ..core.budget import ResourceBudget
 from ..core.exceptions import (
     BudgetExceededError,
+    CircuitOpenError,
     InvalidConfigError,
     InvalidInstanceError,
     RegistryError,
     SessionError,
+    TransportFailure,
 )
 from .tenancy import (
     API_KEY_HEADER,
@@ -169,6 +172,7 @@ class ReproServer:
         self.ledger = UsageLedger(usage_log)
         self._pool = SessionPool(config=config, **overrides)
         self._services: dict[str, SolverService] = {}
+        self._replaced: dict[str, int] = {}
         self._tickets: dict[str, _TicketRecord] = {}
         self._active: dict[str, int] = {}
         self._next_id = 1
@@ -178,6 +182,7 @@ class ReproServer:
         self._httpd.daemon_threads = True
         self._httpd.app = self  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+        self._serving = threading.Event()
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -195,7 +200,11 @@ class ReproServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`close` (or SIGINT)."""
-        self._httpd.serve_forever(poll_interval=0.2)
+        self._serving.set()
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self._serving.clear()
 
     def start(self) -> "ReproServer":
         """Serve on a background thread (tests, examples); returns ``self``."""
@@ -213,7 +222,11 @@ class ReproServer:
                 return
             self._closed = True
             services = list(self._services.values())
-        self._httpd.shutdown()
+        # ``BaseServer.shutdown()`` blocks on an event that only
+        # ``serve_forever()`` sets — calling it when the serve loop never
+        # started (a signal landing between bind and serve) would hang.
+        if self._serving.is_set():
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10)
@@ -254,6 +267,76 @@ class ReproServer:
         with self._lock:
             services = dict(self._services)
         return {name: svc.stats() for name, svc in services.items()}
+
+    def health(self) -> dict:
+        """The deepened ``/v1/healthz`` body: liveness plus readiness.
+
+        Liveness ("is the process serving?") is trivially ``ok`` once this
+        runs.  Readiness is per model: a model is ready when its circuit is
+        closed and its transport is not degraded; the aggregate ``status``
+        stays ``"ok"`` while every instantiated model is ready and turns
+        ``"degraded"`` otherwise (load balancers key off it without parsing
+        the per-model detail).
+        """
+        with self._lock:
+            services = dict(self._services)
+            replaced = dict(self._replaced)
+        models: dict[str, Any] = {}
+        all_ready = True
+        for name, svc in services.items():
+            circuit = svc.breaker.describe()
+            try:
+                transport = svc.session.transport_health()
+            except Exception as exc:  # noqa: BLE001 - health must not 500
+                transport = {"kind": "unknown", "error": str(exc)}
+            degraded = bool(transport.get("degraded"))
+            if circuit["state"] != "closed":
+                state = "circuit_open"
+            elif degraded:
+                state = "degraded"
+            else:
+                state = "ready"
+            all_ready = all_ready and state == "ready"
+            models[name] = {
+                "state": state,
+                "circuit": circuit,
+                "transport": transport,
+                "replacements": replaced.get(name, 0),
+            }
+        return {
+            "status": "ok" if all_ready else "degraded",
+            "liveness": "ok",
+            "readiness": {"ready": all_ready, "models": models},
+            "services": self.stats(),
+        }
+
+    def _replace_service(self, model: str) -> None:
+        """Swap out one poisoned model service after a terminal transport loss.
+
+        Runs from a ticket's done-callback — i.e. on the dying service's own
+        worker thread — so the drain (``shutdown(wait=True)`` joins that very
+        thread) must happen on a background thread or it would deadlock.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            service = self._services.pop(model, None)
+            if service is None:
+                return
+            self._replaced[model] = self._replaced.get(model, 0) + 1
+
+        def _drain() -> None:
+            try:
+                service.shutdown(wait=True)
+            finally:
+                try:
+                    self._pool.replace(model)
+                except Exception:  # noqa: BLE001 - pool may be closing
+                    pass
+
+        threading.Thread(
+            target=_drain, name=f"repro-replace-{model}", daemon=True
+        ).start()
 
     def active_tickets(self, tenant: str) -> int:
         with self._lock:
@@ -352,6 +435,12 @@ class ReproServer:
             if isinstance(exc, BudgetExceededError):
                 iterations = exc.iterations
                 bits = exc.communication_bits
+            if isinstance(exc, TransportFailure) and not exc.retryable:
+                # The service's transport is beyond repair (restarts
+                # exhausted, degradation disabled): retire the whole
+                # service + session pair so the next request gets a fresh
+                # one instead of hitting the same poisoned pool.
+                self._replace_service(record.model)
         self.ledger.record(
             record.tenant,
             outcome=status,
@@ -480,6 +569,20 @@ class _Handler(BaseHTTPRequestHandler):
                 ),
                 headers={"Retry-After": "1"},
             )
+        except CircuitOpenError as exc:
+            # A tripped per-model breaker: a structured 503 that names the
+            # cooldown both in the body and in the Retry-After header.
+            self._send_json(
+                503,
+                error_body(
+                    "circuit_open",
+                    str(exc),
+                    retryable=True,
+                    retry_after=exc.retry_after_s,
+                    model=exc.model,
+                ),
+                headers={"Retry-After": str(max(1, math.ceil(exc.retry_after_s)))},
+            )
         except RequestValidationError as exc:
             self._send_json(
                 400,
@@ -533,7 +636,7 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         path = parsed.path.rstrip("/")
         if path == "/v1/healthz":
-            self._send_json(200, {"status": "ok", "services": self.app.stats()})
+            self._send_json(200, self.app.health())
             return
         if path == "/v1/models":
             models = {
@@ -564,7 +667,15 @@ class _Handler(BaseHTTPRequestHandler):
                 record = self.app.ticket_record(rid, tenant)
                 query = parse_qs(parsed.query)
                 timeout = float(query.get("timeout", ["300"])[0])
-                self._stream_events(record, timeout)
+                # A reconnecting client replays from where its previous
+                # stream broke off: Last-Event-ID carries the absolute
+                # index of the last frame it saw.
+                raw_last = self.headers.get("Last-Event-ID")
+                try:
+                    start = int(raw_last) + 1 if raw_last is not None else 0
+                except ValueError:
+                    start = 0
+                self._stream_events(record, timeout, max(0, start))
                 return
             tenant = self._authenticate()
             record = self.app.ticket_record(tail, tenant)
@@ -572,8 +683,14 @@ class _Handler(BaseHTTPRequestHandler):
             return
         raise _HTTPError(404, error_body("not_found", f"no route {path!r}"))
 
-    def _stream_events(self, record: _TicketRecord, timeout: float) -> None:
-        """Replay queued events, then stream live ones until terminal."""
+    def _stream_events(
+        self, record: _TicketRecord, timeout: float, start: int = 0
+    ) -> None:
+        """Replay queued events from ``start``, then stream until terminal.
+
+        Every frame carries ``id: <absolute index>`` so clients can resume
+        a broken stream with ``Last-Event-ID`` and miss nothing.
+        """
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream; charset=utf-8")
         self.send_header("Cache-Control", "no-cache")
@@ -581,7 +698,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.close_connection = True
         deadline = time.monotonic() + timeout
-        index = 0
+        index = start
         while True:
             with record.cond:
                 while (
@@ -591,12 +708,17 @@ class _Handler(BaseHTTPRequestHandler):
                 ):
                     record.cond.wait(timeout=0.25)
                 batch = record.events[index:]
+                batch_start = index
                 index = len(record.events)
                 terminal = record.terminal and index >= len(record.events)
             try:
-                for event in batch:
+                for offset, event in enumerate(batch):
                     payload = {k: v for k, v in event.items() if k != "event"}
-                    self.wfile.write(sse_event(event["event"], payload))
+                    self.wfile.write(
+                        sse_event(
+                            event["event"], payload, event_id=batch_start + offset
+                        )
+                    )
                 self.wfile.flush()
             except (BrokenPipeError, ConnectionResetError):
                 return

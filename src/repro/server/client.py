@@ -27,7 +27,7 @@ from typing import Any, Iterator, Mapping, Optional
 from urllib.parse import urlparse
 
 from ..core.budget import ResourceBudget
-from ..core.exceptions import ReproError
+from ..core.exceptions import CircuitOpenError, ReproError
 from ..core.result import SolveResult
 from .tenancy import API_KEY_HEADER, AuthenticationError, QuotaExceededError
 from .wire import encode_problem, error_to_exception
@@ -87,7 +87,17 @@ class ServiceClient:
     api_key:
         Sent as ``X-API-Key`` on every request (omit for anonymous access).
     timeout:
-        Socket timeout for non-streaming requests, in seconds.
+        Read timeout for non-streaming requests, in seconds.
+    connect_timeout:
+        TCP connect timeout, in seconds; defaults to ``timeout``.
+    retries:
+        How many times an *idempotent* (GET) request is retried after a
+        connection failure or a retryable 503 (circuit open).  POSTs are
+        never retried: a submit that died mid-flight may have enqueued a
+        ticket, and a blind resend would double-solve and double-bill.
+    backoff_s:
+        Base delay between GET retries; a 503 body's ``retry_after`` (or
+        the ``Retry-After`` header's value surfaced there) takes precedence.
     """
 
     def __init__(
@@ -95,6 +105,10 @@ class ServiceClient:
         base_url: str,
         api_key: Optional[str] = None,
         timeout: float = 30.0,
+        *,
+        connect_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff_s: float = 0.2,
     ) -> None:
         parsed = urlparse(base_url)
         if parsed.scheme != "http" or not parsed.hostname:
@@ -105,13 +119,27 @@ class ServiceClient:
         self.port = parsed.port or 80
         self.api_key = api_key
         self.timeout = float(timeout)
+        self.connect_timeout = (
+            float(connect_timeout) if connect_timeout is not None else self.timeout
+        )
+        self.retries = max(0, int(retries))
+        self.backoff_s = max(0.0, float(backoff_s))
 
     # -------------------------------------------------------------- #
     # HTTP plumbing
     # -------------------------------------------------------------- #
 
-    def _connection(self, timeout: float) -> http.client.HTTPConnection:
-        return http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+    def _connection(self, read_timeout: float) -> http.client.HTTPConnection:
+        # http.client applies its timeout to connect(); widen it to the
+        # read timeout once the socket exists so slow responses get the
+        # full read window while a dead host still fails fast.
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout
+        )
+        conn.connect()
+        if conn.sock is not None:
+            conn.sock.settimeout(read_timeout)
+        return conn
 
     def _headers(self) -> dict:
         headers = {"Accept": "application/json"}
@@ -120,8 +148,40 @@ class ServiceClient:
         return headers
 
     def _request(self, method: str, path: str, body: Any = None) -> Any:
-        """One JSON request/response; raises typed errors on non-2xx."""
-        conn = self._connection(self.timeout)
+        """One JSON request/response; raises typed errors on non-2xx.
+
+        GETs are retried up to ``retries`` times on connection failures and
+        retryable 503s (honouring the body's ``retry_after``); POSTs get
+        exactly one attempt (see the class docstring for why).
+        """
+        attempts = self.retries + 1 if method == "GET" else 1
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                delay = self.backoff_s * attempt
+                if isinstance(last_error, CircuitOpenError):
+                    delay = max(delay, last_error.retry_after_s)
+                time.sleep(delay)
+            try:
+                return self._request_once(method, path, body)
+            except CircuitOpenError as exc:
+                # The server's structured 503: retry after the advertised
+                # cooldown (idempotent requests only).
+                last_error = exc
+            except ServiceError as exc:
+                if exc.status != 0:  # only connection-level failures retry
+                    raise
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _request_once(self, method: str, path: str, body: Any = None) -> Any:
+        try:
+            conn = self._connection(self.timeout)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach {self.host}:{self.port}: {exc}"
+            ) from None
         try:
             headers = self._headers()
             payload = None
@@ -249,13 +309,46 @@ class ServiceClient:
 
         Yields ``{"event": name, "data": {...}}`` per frame and returns
         after the terminal ``done`` / ``failed`` / ``cancelled`` event.
+        A stream broken mid-flight (server frames carry ``id:`` indices)
+        reconnects with ``Last-Event-ID`` and resumes exactly where it
+        left off, up to ``retries`` reconnect attempts.
         """
-        conn = self._connection(timeout + 5.0)
+        deadline = time.monotonic() + timeout
+        last_id: Optional[int] = None
+        reconnects = 0
+        while True:
+            try:
+                for frame in self._stream_once(ticket_id, deadline, last_id):
+                    if frame["id"] is not None:
+                        last_id = frame["id"]
+                    yield {"event": frame["event"], "data": frame["data"]}
+                    if frame["event"] in ("done", "failed", "cancelled"):
+                        return
+                return  # server closed cleanly (timeout elapsed)
+            except OSError as exc:
+                # Mid-stream connection loss: resume from the last id seen.
+                reconnects += 1
+                if reconnects > self.retries or time.monotonic() >= deadline:
+                    raise ServiceError(
+                        f"SSE stream for ticket {ticket_id} broke after "
+                        f"{reconnects} attempt(s): {exc}"
+                    ) from None
+                time.sleep(min(self.backoff_s * reconnects, 2.0))
+
+    def _stream_once(
+        self, ticket_id: str, deadline: float, last_id: Optional[int]
+    ) -> Iterator[dict]:
+        """One SSE connection: yields ``{"id", "event", "data"}`` frames."""
+        remaining = max(0.5, deadline - time.monotonic())
+        conn = self._connection(remaining + 5.0)
         try:
+            headers = self._headers()
+            if last_id is not None:
+                headers["Last-Event-ID"] = str(last_id)
             conn.request(
                 "GET",
-                f"/v1/tickets/{ticket_id}/events?timeout={timeout:g}",
-                headers=self._headers(),
+                f"/v1/tickets/{ticket_id}/events?timeout={remaining:g}",
+                headers=headers,
             )
             response = conn.getresponse()
             if response.status != 200:
@@ -266,10 +359,17 @@ class ServiceClient:
                     parsed = {}
                 self._raise_for(response.status, parsed)
             event_name: Optional[str] = None
+            event_id: Optional[int] = None
             data_lines: list[str] = []
             for raw_line in response:
                 line = raw_line.decode("utf-8").rstrip("\r\n")
                 if line.startswith(":"):  # comment / keep-alive
+                    continue
+                if line.startswith("id:"):
+                    try:
+                        event_id = int(line[len("id:") :].strip())
+                    except ValueError:
+                        event_id = None
                     continue
                 if line.startswith("event:"):
                     event_name = line[len("event:") :].strip()
@@ -279,11 +379,8 @@ class ServiceClient:
                     continue
                 if line == "" and event_name is not None:
                     data = json.loads("\n".join(data_lines)) if data_lines else {}
-                    yield {"event": event_name, "data": data}
-                    finished = event_name in ("done", "failed", "cancelled")
-                    event_name, data_lines = None, []
-                    if finished:
-                        return
+                    yield {"id": event_id, "event": event_name, "data": data}
+                    event_name, event_id, data_lines = None, None, []
         finally:
             conn.close()
 

@@ -32,11 +32,13 @@ import numpy as np
 from ..core.budget import ResourceBudget
 from ..core.exceptions import (
     BudgetExceededError,
+    CircuitOpenError,
     InfeasibleProblemError,
     InvalidConfigError,
     InvalidInstanceError,
     ReproError,
     SolverError,
+    TransportFailure,
     UnboundedProblemError,
 )
 from ..core.result import ResourceUsage
@@ -268,9 +270,31 @@ def decode_budget(payload: Any) -> Optional[ResourceBudget]:
 # ---------------------------------------------------------------------- #
 
 
-def error_body(error_type: str, message: str, **extra: Any) -> dict:
-    """The structured error body every non-2xx response carries."""
-    return {"error": {"type": error_type, "message": message, **extra}}
+def error_body(
+    error_type: str,
+    message: str,
+    *,
+    retryable: bool = False,
+    retry_after: Optional[float] = None,
+    **extra: Any,
+) -> dict:
+    """The structured error body every non-2xx response carries.
+
+    Every body advertises ``retryable`` so clients can distinguish
+    transient infrastructure failures (retry the same request) from
+    terminal ones without parsing prose; ``retry_after`` (seconds) is
+    present when the server can name a sensible backoff, mirroring the
+    ``Retry-After`` header on 503s.
+    """
+    error: dict[str, Any] = {
+        "type": error_type,
+        "message": message,
+        "retryable": bool(retryable),
+    }
+    if retry_after is not None:
+        error["retry_after"] = float(retry_after)
+    error.update(extra)
+    return {"error": error}
 
 
 def _usage_to_dict(usage: Any) -> Optional[dict]:
@@ -311,6 +335,22 @@ def exception_to_error(exc: BaseException) -> dict:
             communication_bits=exc.communication_bits,
             usage=_usage_to_dict(exc.usage),
         )
+    if isinstance(exc, CircuitOpenError):
+        return error_body(
+            "circuit_open",
+            str(exc),
+            retryable=True,
+            retry_after=exc.retry_after_s,
+            model=exc.model,
+        )
+    if isinstance(exc, TransportFailure):
+        return error_body(
+            "transport_failure",
+            str(exc),
+            retryable=exc.retryable,
+            worker=exc.worker,
+            attempts=exc.attempts,
+        )
     for cls, error_type in _EXCEPTION_TYPES:
         if isinstance(exc, cls):
             return error_body(error_type, str(exc))
@@ -344,6 +384,19 @@ def error_to_exception(body: Mapping[str, Any]) -> ReproError:
             communication_bits=int(error.get("communication_bits", 0)),
             usage=usage,
         )
+    if error_type == "circuit_open":
+        return CircuitOpenError(
+            message,
+            retry_after_s=float(error.get("retry_after", 1.0)),
+            model=str(error.get("model", "")),
+        )
+    if error_type == "transport_failure":
+        return TransportFailure(
+            message,
+            retryable=bool(error.get("retryable", False)),
+            worker=error.get("worker"),
+            attempts=int(error.get("attempts", 0)),
+        )
     for cls, wire_type in _EXCEPTION_TYPES:
         if wire_type == error_type:
             if cls is RequestValidationError:
@@ -359,6 +412,14 @@ def error_to_exception(body: Mapping[str, Any]) -> ReproError:
 # ---------------------------------------------------------------------- #
 
 
-def sse_event(event: str, data: Any) -> bytes:
-    """One SSE frame: ``event:`` name plus one JSON ``data:`` line."""
-    return (f"event: {event}\n" f"data: {json.dumps(data)}\n\n").encode("utf-8")
+def sse_event(event: str, data: Any, event_id: Optional[int] = None) -> bytes:
+    """One SSE frame: optional ``id:``, ``event:`` name, one ``data:`` line.
+
+    The id is the event's absolute index in the ticket's event log, so a
+    client that reconnects with ``Last-Event-ID`` resumes exactly where the
+    previous stream broke off.
+    """
+    prefix = f"id: {event_id}\n" if event_id is not None else ""
+    return (f"{prefix}event: {event}\n" f"data: {json.dumps(data)}\n\n").encode(
+        "utf-8"
+    )

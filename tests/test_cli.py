@@ -142,3 +142,35 @@ def test_serve_defaults_to_anonymous_none():
     assert args.anonymous is None
     assert args.port == 8731
     assert args.model == "streaming"
+
+
+def test_serve_drains_cleanly_on_sigterm(tmp_path):
+    """``repro serve`` treats SIGTERM like SIGINT: drain, then exit 0."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+    from pathlib import Path
+
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--set", "seed=0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "listening on" in line, line
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+    except BaseException:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise
+    assert proc.returncode == 0, out
+    assert "draining" in out

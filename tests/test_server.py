@@ -404,3 +404,171 @@ def test_healthz_reports_service_stats(client, server):
     assert streaming["done"] >= 1
     assert "queue_depth" in streaming and "running" in streaming
     assert "public" in streaming["tenants"]
+
+
+# ---------------------------------------------------------------------- #
+# Resilient service path: deep health, structured 503s, SSE resume,
+# poisoned-service replacement
+# ---------------------------------------------------------------------- #
+
+
+def test_healthz_reports_liveness_and_readiness(client, server):
+    client.solve(_instance("lp"), timeout=120)
+    body = client.healthz()
+    assert body["liveness"] == "ok"
+    assert body["readiness"]["ready"] is True
+    streaming = body["readiness"]["models"]["streaming"]
+    assert streaming["state"] == "ready"
+    assert streaming["circuit"]["state"] == "closed"
+    assert streaming["transport"]["kind"] in ("inprocess", "process")
+    assert streaming["replacements"] == 0
+
+
+def test_open_circuit_answers_structured_503(server):
+    from repro.core.exceptions import CircuitOpenError
+
+    service = server._service_for("streaming")
+    breaker = service.breaker
+    for _ in range(breaker.failure_threshold):
+        breaker.record_failure()
+    try:
+        # POSTs are never retried by the client, so the 503 surfaces raw.
+        fresh = ServiceClient(server.url)
+        with pytest.raises(CircuitOpenError) as exc_info:
+            fresh.submit(_instance("lp"))
+        assert exc_info.value.retry_after_s > 0
+        assert exc_info.value.model == "streaming"
+
+        # The raw response carries the Retry-After header and a retryable
+        # structured body.
+        import http.client as http_client
+        import json as json_mod
+
+        host, port = server.address
+        conn = http_client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "POST",
+                "/v1/solve",
+                body=json_mod.dumps({"problem": encode_problem(_instance("lp"))}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 503
+            assert int(response.getheader("Retry-After")) >= 1
+            error = json_mod.loads(response.read())["error"]
+            assert error["type"] == "circuit_open"
+            assert error["retryable"] is True
+            assert error["retry_after"] > 0
+        finally:
+            conn.close()
+
+        # An open circuit flips readiness without killing liveness.
+        health = ServiceClient(server.url).healthz()
+        assert health["liveness"] == "ok"
+        assert health["status"] == "degraded"
+        assert (
+            health["readiness"]["models"]["streaming"]["state"] == "circuit_open"
+        )
+    finally:
+        breaker.record_success()  # close the circuit for the other tests
+    assert ServiceClient(server.url).healthz()["status"] == "ok"
+
+
+def test_sse_frames_carry_ids_and_resume_via_last_event_id(server, client):
+    import http.client as http_client
+
+    ticket = client.submit(_instance("lp"))
+    ticket.result(timeout=120)
+
+    def _frames(headers):
+        host, port = server.address
+        conn = http_client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request(
+                "GET", f"/v1/tickets/{ticket.id}/events?timeout=10", headers=headers
+            )
+            response = conn.getresponse()
+            assert response.status == 200
+            frames = []
+            current = {}
+            for raw_line in response:
+                line = raw_line.decode().rstrip("\r\n")
+                if line.startswith("id:"):
+                    current["id"] = int(line[3:].strip())
+                elif line.startswith("event:"):
+                    current["event"] = line[6:].strip()
+                elif line == "" and current:
+                    frames.append(current)
+                    if current["event"] in ("done", "failed", "cancelled"):
+                        break
+                    current = {}
+            return frames
+        finally:
+            conn.close()
+
+    full = _frames({})
+    assert [f["id"] for f in full] == list(range(len(full)))
+    assert full[-1]["event"] == "done"
+
+    resumed = _frames({"Last-Event-ID": "1"})
+    assert resumed[0]["id"] == 2
+    assert [f["event"] for f in resumed] == [f["event"] for f in full[2:]]
+
+
+def test_terminal_transport_failure_replaces_the_service():
+    import time as time_mod
+
+    from repro.core.exceptions import TransportFailure
+
+    with ReproServer(port=0, model="streaming", max_workers=1, r=2, **FAST) as srv:
+        client = ServiceClient(srv.url)
+        service = srv._service_for("streaming")
+
+        def doomed(problem, config=None, budget=None, warm_witnesses=None):
+            raise TransportFailure("pool is gone", retryable=False)
+
+        service.session.run_cold = doomed
+        ticket = client.submit(_instance("lp"))
+        with pytest.raises(TransportFailure):
+            ticket.result(timeout=60)
+
+        # The poisoned service is retired on a background thread; the pool
+        # swaps in a fresh session and the next request solves normally.
+        deadline = time_mod.monotonic() + 30
+        while time_mod.monotonic() < deadline:
+            if srv._services.get("streaming") is not service:
+                break
+            time_mod.sleep(0.05)
+        assert srv._services.get("streaming") is not service
+        assert srv._replaced == {"streaming": 1}
+        result = client.solve(_instance("lp"), timeout=120)
+        assert result.value is not None
+        health = client.healthz()
+        assert health["readiness"]["models"]["streaming"]["replacements"] == 1
+
+
+def test_client_sse_reconnects_without_duplicates(server, client):
+    ticket = client.submit(_instance("lp"))
+    ticket.result(timeout=120)
+    clean = list(client.events(ticket.id, timeout=30))
+
+    flaky_client = ServiceClient(server.url, retries=2, backoff_s=0.0)
+    real = flaky_client._stream_once
+    state = {"connections": 0}
+
+    def flaky(ticket_id, deadline, last_id):
+        state["connections"] += 1
+        stream = real(ticket_id, deadline, last_id)
+        if state["connections"] == 1:
+            # Two frames, then the connection "dies" mid-stream.
+            yield next(stream)
+            yield next(stream)
+            raise OSError("connection reset mid-stream")
+        yield from stream
+
+    flaky_client._stream_once = flaky
+    events = list(flaky_client.events(ticket.id, timeout=30))
+    assert state["connections"] == 2
+    # The resumed stream replays from Last-Event-ID: no gaps, no repeats.
+    assert [e["event"] for e in events] == [e["event"] for e in clean]
