@@ -23,6 +23,15 @@ a ``backend_speedups`` block (geomean wall-time ratio of every backend over
 the first one listed).  The ``xlarge`` tier (n = 10^7, sequential model only
 by default) is the kernel layer's headline tier.
 
+Schema ``repro-bench/4`` adds the ``transport_bench`` block
+(``--transport-bench``): for each worker count, the process transport's
+*dispatch* cost — shipping the problem to every worker, installing node
+states, and running task rounds — is timed with shared memory off (the
+pickle wire) and on (zero-copy segments + the pickle-free frame codec),
+alongside each worker's peak RSS (``VmHWM``) and private footprint (USS,
+the honest zero-copy metric: shared pages don't count).
+``--min-transport-speedup`` gates the shm-over-pickle dispatch ratio in CI.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_suite.py --tier small -o BENCH.json
@@ -33,6 +42,9 @@ Usage::
     # CI regression gate: wall time and communication vs the baseline
     PYTHONPATH=src python benchmarks/run_suite.py --tier small \
         --baseline benchmarks/bench_baseline_small.json --max-regression 2.0
+    # zero-copy data plane: dispatch latency + per-worker RSS, shm vs pickle
+    PYTHONPATH=src python benchmarks/run_suite.py --transport-bench \
+        --transport-only --transport-workers 2 8 -o BENCH-transport.json
     # print the checked-in snapshot geomeans per tier/backend
     PYTHONPATH=src python benchmarks/run_suite.py --history
 """
@@ -64,7 +76,7 @@ from repro.workloads import (
     uniform_ball_points,
 )
 
-SCHEMA = "repro-bench/3"
+SCHEMA = "repro-bench/4"
 
 #: Constraint counts per tier (shared by all four problem families).
 TIERS = {
@@ -294,6 +306,183 @@ def session_amortization(
     }
 
 
+# --------------------------------------------------------------------- #
+# Transport data plane: dispatch latency + per-worker memory, shm vs pickle
+# --------------------------------------------------------------------- #
+
+#: Transport-bench defaults: the xlarge problem shape (n = 10^7, d = 8) and
+#: the worker counts whose per-worker footprint the RSS-flatness claim spans.
+TRANSPORT_WORKERS = (2, 8)
+TRANSPORT_ROUNDS = 4
+TRANSPORT_REPEATS = 3
+
+
+def _transport_probe_task(state, lo, hi, round_index):
+    """Per-node task: touch this node's slice of the shared constraint rows.
+
+    Reading one float per row pulls every 64-byte row (d = 8) through the
+    page cache, so worker RSS honestly reflects whether the rows are private
+    (pickle wire) or shared (zero-copy segments).  Must stay top-level:
+    spawn workers re-import this file to unpickle the function reference.
+    """
+    rows = state["problem"].constraint_pack().rows
+    value = float(rows[int(lo) : int(hi), 0].sum()) + float(round_index)
+    return state, value
+
+
+def _transport_ready_task(state):
+    """Untimed readiness probe (see :func:`_transport_cell`)."""
+    return state, "ready"
+
+
+def _proc_kb(pid: int, filename: str, fields: tuple) -> int | None:
+    """Sum of ``fields`` (kB) from ``/proc/<pid>/<filename>``; None off-Linux."""
+    try:
+        total = 0
+        with open(f"/proc/{pid}/{filename}") as handle:
+            for line in handle:
+                if line.split(":", 1)[0] in fields:
+                    total += int(line.split()[1])
+        return total
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def _worker_memory_kb(transport) -> dict:
+    """Per-worker VmHWM (peak RSS) and USS (private pages) in kB.
+
+    USS — ``Private_Clean + Private_Dirty`` from ``smaps_rollup`` — is the
+    zero-copy headline: pages mapped from a shared segment are *shared*, so
+    a worker reading the whole problem through shm keeps a near-empty
+    private footprint while the pickle wire charges it the full copy.
+    """
+    hwm, uss = [], []
+    for process, _ in transport._workers:
+        hwm.append(_proc_kb(process.pid, "status", ("VmHWM",)))
+        uss.append(_proc_kb(process.pid, "smaps_rollup", ("Private_Clean", "Private_Dirty")))
+    def _stats(values):
+        known = [v for v in values if v is not None]
+        if not known:
+            return {"per_worker": values, "mean": None, "max": None}
+        return {
+            "per_worker": values,
+            "mean": int(statistics.mean(known)),
+            "max": max(known),
+        }
+    return {"vmhwm_kb": _stats(hwm), "uss_kb": _stats(uss)}
+
+
+def _transport_cell(problem, workers: int, shared_memory: bool, rounds: int, repeats: int) -> dict:
+    from repro.fabric.transport import ProcessPoolTransport, SharedRef, new_session
+
+    transport = ProcessPoolTransport(max_workers=workers, shared_memory=shared_memory)
+    transport.warm_up()
+    # ``warm_up`` starts the processes but returns before they finish booting
+    # (interpreter + imports, ~1s under ``spawn``).  Run one throwaway round
+    # so every timed repeat measures dispatch, not worker start-up.
+    ready = new_session()
+    for node in range(workers):
+        transport.init_node(ready, node, {"node": node})
+    transport.run_nodes(
+        ready, list(range(workers)), _transport_ready_task, [()] * workers
+    )
+    transport.release(ready)
+    n = problem.num_constraints
+    bounds = np.linspace(0, n, workers + 1).astype(int)
+    reference = np.zeros(problem.dimension)
+    walls: list[float] = []
+    memory: dict = {}
+    try:
+        for _ in range(max(1, repeats)):
+            session = new_session()
+            start = time.perf_counter()
+            transport.init_shared(session, "problem", problem)
+            for node in range(workers):
+                transport.init_node(
+                    session, node, {"problem": SharedRef("problem"), "x": reference}
+                )
+            for round_index in range(rounds):
+                transport.run_nodes(
+                    session,
+                    list(range(workers)),
+                    _transport_probe_task,
+                    [
+                        (int(bounds[i]), int(bounds[i + 1]), round_index)
+                        for i in range(workers)
+                    ],
+                )
+            walls.append(time.perf_counter() - start)
+            # Memory observed while the session is still live (states held).
+            memory = _worker_memory_kb(transport)
+            transport.release(session)
+    finally:
+        transport.close()
+    return {
+        "workers": workers,
+        "shared_memory": shared_memory,
+        "active": bool(transport.shared_memory) if shared_memory else False,
+        "rounds": rounds,
+        "repeats": repeats,
+        "dispatch_wall_s": round(statistics.median(walls), 6),
+        "dispatch_walls_s": [round(w, 6) for w in walls],
+        **memory,
+    }
+
+
+def transport_bench(
+    n: int | None = None,
+    workers_list: tuple | list = TRANSPORT_WORKERS,
+    rounds: int = TRANSPORT_ROUNDS,
+    repeats: int = TRANSPORT_REPEATS,
+) -> dict:
+    """The ``transport_bench`` block: shm-vs-pickle dispatch on the LP family.
+
+    One xlarge-shaped LP (``n`` overridable for CI smoke budgets) is shipped
+    and dispatched through a fresh :class:`ProcessPoolTransport` per cell —
+    ``workers x {pickle wire, shared memory}`` — and each cell reports the
+    median wall of ``init_shared + per-node init + rounds x run_nodes``
+    plus per-worker VmHWM/USS read before release.  ``speedups`` maps each
+    worker count to pickle-wall / shm-wall.
+    """
+    size = TIERS["xlarge"] if n is None else int(n)
+    d = TIER_DIMENSIONS["xlarge"]
+    seed = _scenario_seed("lp", "transport", size)
+    problem = _build_problem("lp", size, seed, d=d)
+    pack = problem.constraint_pack()  # built once, outside every timed region
+    cells = []
+    for workers in workers_list:
+        for shared_memory in (False, True):
+            cell = _transport_cell(problem, int(workers), shared_memory, rounds, repeats)
+            cells.append(cell)
+            uss = cell.get("uss_kb", {}).get("max")
+            print(
+                f"transport n={size} workers={workers} "
+                f"{'shm' if shared_memory else 'pickle'}: "
+                f"{cell['dispatch_wall_s']:.4f}s dispatch, "
+                f"max worker USS {uss} kB"
+            )
+    by_key = {(c["workers"], c["shared_memory"]): c for c in cells}
+    speedups = {}
+    for workers in workers_list:
+        pickle_cell = by_key[(int(workers), False)]
+        shm_cell = by_key[(int(workers), True)]
+        if shm_cell["dispatch_wall_s"] > 0:
+            speedups[str(workers)] = round(
+                pickle_cell["dispatch_wall_s"] / shm_cell["dispatch_wall_s"], 3
+            )
+    return {
+        "family": "lp",
+        "n": size,
+        "d": d,
+        "array_bytes": int(pack.rows.nbytes + pack.rhs.nbytes),
+        "rounds": rounds,
+        "repeats": repeats,
+        "cells": cells,
+        "speedups": speedups,
+        "min_speedup": min(speedups.values()) if speedups else None,
+    }
+
+
 def build_grid(
     tier: str,
     models: list[str],
@@ -379,6 +568,27 @@ def print_history(bench_dir: str | None = None) -> int:
             rows.append(
                 (path.name, "", "", f"speedup vs {speedups['reference']}", "", pairs)
             )
+        transport = report.get("transport_bench")
+        if transport:
+            for cell in transport.get("cells", []):
+                wire = "shm" if cell["shared_memory"] else "pickle"
+                uss = (cell.get("uss_kb") or {}).get("max")
+                rows.append(
+                    (
+                        path.name,
+                        "",
+                        f"n={transport['n']}",
+                        f"transport {wire} w={cell['workers']}",
+                        f"{uss or '?'}kB",
+                        f"{cell['dispatch_wall_s']:.4f}s",
+                    )
+                )
+            pairs = ", ".join(
+                f"w={workers}: {ratio}x"
+                for workers, ratio in transport.get("speedups", {}).items()
+            )
+            if pairs:
+                rows.append((path.name, "", "", "transport shm speedup", "", pairs))
     if not rows:
         print(f"no repro-bench snapshots found under {root}")
         return 1
@@ -559,13 +769,61 @@ def main(argv: list[str] | None = None) -> int:
             "emit it as the session_amortization block"
         ),
     )
+    parser.add_argument(
+        "--transport-bench",
+        action="store_true",
+        help=(
+            "also measure the process-transport data plane (dispatch wall + "
+            "per-worker RSS/USS, shared memory vs pickle wire) and emit it as "
+            "the transport_bench block"
+        ),
+    )
+    parser.add_argument(
+        "--transport-only",
+        action="store_true",
+        help="skip the scenario grid; run only the transport bench (implies --transport-bench)",
+    )
+    parser.add_argument(
+        "--transport-n",
+        type=int,
+        default=None,
+        help="constraint count for the transport bench (default: the xlarge tier's n)",
+    )
+    parser.add_argument(
+        "--transport-workers",
+        type=int,
+        nargs="+",
+        default=list(TRANSPORT_WORKERS),
+        help="worker counts for the transport bench cells",
+    )
+    parser.add_argument(
+        "--transport-rounds", type=int, default=TRANSPORT_ROUNDS,
+        help="task rounds per transport-bench repeat",
+    )
+    parser.add_argument(
+        "--transport-repeats", type=int, default=TRANSPORT_REPEATS,
+        help="full dispatch cycles per transport-bench cell (median reported)",
+    )
+    parser.add_argument(
+        "--min-transport-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail unless shared memory beats the pickle wire by at least this "
+            "dispatch ratio at every measured worker count (CI gate)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.history:
         return print_history()
 
-    models = args.models or list(TIER_MODELS.get(args.tier, MODELS))
-    grid = build_grid(args.tier, models, args.problems, args.backends, n=args.n)
+    if args.transport_only:
+        args.transport_bench = True
+        grid = []
+    else:
+        models = args.models or list(TIER_MODELS.get(args.tier, MODELS))
+        grid = build_grid(args.tier, models, args.problems, args.backends, n=args.n)
     scenarios = []
     for scenario in grid:
         row = scenario.run(max(1, args.repeats))
@@ -605,10 +863,36 @@ def main(argv: list[str] | None = None) -> int:
             f"vs {amort['per_solve_s_k16']:.4f}s/solve at k={amort['batch']} "
             f"({amort['amortization_speedup']}x)"
         )
+    if args.transport_bench:
+        report["transport_bench"] = transport_bench(
+            n=args.transport_n,
+            workers_list=args.transport_workers,
+            rounds=args.transport_rounds,
+            repeats=args.transport_repeats,
+        )
+        for workers, ratio in report["transport_bench"]["speedups"].items():
+            print(f"transport shm speedup at {workers} workers: {ratio}x dispatch")
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"geomean wall time: {report['geomean_wall_time_s']:.4f}s -> {args.output}")
+
+    if args.min_transport_speedup is not None:
+        transport = report.get("transport_bench") or {}
+        minimum = transport.get("min_speedup")
+        if minimum is None:
+            print("--min-transport-speedup requires --transport-bench results")
+            return 1
+        if minimum < args.min_transport_speedup:
+            print(
+                f"transport speedup gate FAILED: min shm-over-pickle dispatch "
+                f"ratio {minimum}x < required {args.min_transport_speedup}x"
+            )
+            return 1
+        print(
+            f"transport speedup gate ok: min {minimum}x >= "
+            f"{args.min_transport_speedup}x"
+        )
 
     if args.baseline:
         return compare_to_baseline(

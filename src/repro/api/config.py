@@ -89,6 +89,14 @@ class TransportConfig:
         restarts: the first crash degrades immediately).
     restart_backoff_s:
         Base delay of the supervisor's exponential restart backoff.
+    shared_memory:
+        With ``kind="process"``, ship the problem's large constraint arrays
+        through POSIX shared-memory segments (zero-copy: every worker maps
+        the same pages) and use the pickle-free frame codec for task
+        args/results.  Default on; silently degrades to the plain pickle
+        wire on platforms without working shared memory.  Results are
+        bit-identical either way — ``False`` forces the pickle path (the
+        cross-transport determinism grid exercises both).
     """
 
     kind: str = "inprocess"
@@ -98,6 +106,7 @@ class TransportConfig:
     supervised: bool = False
     max_restarts: int = 3
     restart_backoff_s: float = 0.05
+    shared_memory: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in TRANSPORT_KINDS:

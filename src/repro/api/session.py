@@ -49,6 +49,7 @@ from ..core.budget import ResourceBudget, metered
 from ..core.exceptions import InvalidConfigError, SessionError
 from ..core.result import ResourceUsage, SolveResult, WarmStats
 from ..resilience.faults import recovery_scope
+from ..fabric import shm
 from ..fabric.transport import (
     ProcessPoolTransport,
     Transport,
@@ -479,17 +480,24 @@ class Session:
         # driver will ever talk to would be pure waste.
         self._transport: Optional[Transport] = None
         self._owns_transport = False
+        # Shared-memory exports made by this session's solves are co-owned by
+        # this token, so the problem's segment outlives the per-solve fabric
+        # sessions and is unlinked deterministically at close().  Only
+        # long-lived sessions on a process transport need one.
+        self._shm_token: Optional[str] = None
         if (
             transport_cfg is not None
             and transport_cfg.kind == "process"
             and "process" in self.spec.transports
         ):
             supervised = bool(getattr(transport_cfg, "supervised", False))
+            shared_memory = bool(getattr(transport_cfg, "shared_memory", True))
             if transport_cfg.reuse_pool:
                 self._transport = shared_process_transport(
                     transport_cfg.max_workers,
                     transport_cfg.start_method,
                     supervised=supervised,
+                    shared_memory=shared_memory,
                 )
             else:
                 if supervised:
@@ -499,6 +507,7 @@ class Session:
                     pool: ProcessPoolTransport = SupervisedProcessPoolTransport(
                         max_workers=transport_cfg.max_workers,
                         start_method=transport_cfg.start_method,
+                        shared_memory=shared_memory,
                         restart_policy=RetryPolicy(
                             max_attempts=transport_cfg.max_restarts,
                             backoff_s=transport_cfg.restart_backoff_s,
@@ -508,9 +517,12 @@ class Session:
                     pool = ProcessPoolTransport(
                         max_workers=transport_cfg.max_workers,
                         start_method=transport_cfg.start_method,
+                        shared_memory=shared_memory,
                     )
                 self._transport = pool
                 self._owns_transport = True
+            if self._warm_tracking:
+                self._shm_token = shm.new_pin_token()
             if self._warm_tracking:
                 # Explicit sessions pay spin-up now; ephemeral shims leave
                 # shared pools lazy (the first solve starts them, exactly as
@@ -537,6 +549,11 @@ class Session:
         if self._owns_transport and self._transport is not None:
             self._transport.close()
         self._transport = None
+        if self._shm_token is not None:
+            # Drop this session's pin: shared segments whose owner set
+            # drains here are unlinked now, deterministically.
+            shm.store().release_owner(self._shm_token)
+            self._shm_token = None
 
     def reset(self) -> None:
         """Drop the warm state (the next solve is cold again)."""
@@ -584,7 +601,9 @@ class Session:
         folded into the result's ``transport_retries`` usage counter, and a
         degradation to in-process execution is flagged in the metadata.
         """
-        with pinned_transport(self._transport), metered(budget), recovery_scope() as notes:
+        with pinned_transport(self._transport), shm.pinned_shm_owner(
+            self._shm_token
+        ), metered(budget), recovery_scope() as notes:
             if warm_witnesses is not None and self.spec.warm_runner is not None:
                 result = self.spec.warm_runner(problem, config, warm_witnesses)
             else:

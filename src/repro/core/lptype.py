@@ -190,6 +190,26 @@ class ConstraintPack:
             self._kernel_cache = {}
         return self._kernel_cache
 
+    # -- export / import hooks (the zero-copy data plane) ---------------- #
+
+    def __getstate__(self) -> tuple:
+        # Only the four canonical arrays travel: the kernel cache is derived
+        # data (fp32 mirrors, magnitude terms) every process rebuilds
+        # locally — shipping it would double the wire size for nothing.
+        return (self.rows, self.rhs, self.limit, self.sense)
+
+    def __setstate__(self, state: tuple) -> None:
+        # Imported arrays are installed verbatim — no ``ascontiguousarray``
+        # re-validation pass.  This keeps shared-memory imports zero-copy:
+        # the transport layer hands in read-only views over shared pages,
+        # and a defensive copy here would silently privatise them again.
+        rows, rhs, limit, sense = state
+        self.rows = rows
+        self.rhs = rhs
+        self.limit = limit
+        self.sense = sense
+        self._kernel_cache = None
+
     def scores(
         self, encoded: tuple[np.ndarray, float], indices: Optional[np.ndarray] = None
     ) -> np.ndarray:
@@ -335,6 +355,21 @@ class LPTypeProblem(abc.ABC):
     def _build_constraint_pack(self) -> Optional[ConstraintPack]:
         """Build the :class:`ConstraintPack` for this problem (``None`` = no pack)."""
         return None
+
+    def prepare_for_export(self) -> None:
+        """Materialise derived constraint-plane arrays before zero-copy export.
+
+        The shared-memory data plane (:mod:`repro.fabric.shm`) pickles the
+        problem once and spills its large arrays into a shared segment.
+        Anything still lazy at that point — above all the constraint pack —
+        would instead be rebuilt privately by *every* worker, re-introducing
+        the per-worker memory blow-up the export exists to remove.  The
+        default builds the pack (which also fixes family-side auxiliaries
+        such as MEB's centring shift, so witness encoding agrees across
+        processes); problems with additional lazy heavy state override and
+        extend this.
+        """
+        self.constraint_pack()
 
     def encode_witness(self, witness: Any) -> Optional[tuple[np.ndarray, float]]:
         """Encode ``witness`` as the ``(vector, offset)`` pair the pack consumes.

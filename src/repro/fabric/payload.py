@@ -73,20 +73,24 @@ def _write_text(parts: list[bytes], text: str) -> None:
 
 
 class _WireReader:
-    """Sequential reader over the canonical wire format."""
+    """Sequential reader over the canonical wire format.
 
-    def __init__(self, data: bytes) -> None:
+    Accepts ``bytes`` or a ``memoryview`` — the process transports' frame
+    codec hands in zero-copy views of larger wire frames.
+    """
+
+    def __init__(self, data: "bytes | memoryview") -> None:
         self.data = data
         self.offset = 0
 
     def read_field(self) -> Any:
-        code = self.data[self.offset : self.offset + 1]
+        code = bytes(self.data[self.offset : self.offset + 1])
         (count,) = struct.unpack_from("<I", self.data, self.offset + 1)
         self.offset += 5
         if code == _TEXT:
             raw = self.data[self.offset : self.offset + count]
             self.offset += count
-            return raw.decode("utf-8")
+            return bytes(raw).decode("utf-8")
         dtype = np.float64 if code == _COEFF else np.int64
         nbytes = count * 8
         arr = np.frombuffer(
@@ -357,8 +361,8 @@ _KIND_BYTES: Mapping[type, bytes] = {
 }
 
 
-def decode_payload(data: bytes) -> Payload:
-    """Reconstruct a payload from its canonical wire bytes."""
+def decode_payload(data: "bytes | memoryview") -> Payload:
+    """Reconstruct a payload from its canonical wire bytes (or a view)."""
     kind = data[0]
     if kind >= len(_PAYLOAD_TYPES):
         raise ValueError(f"unknown payload kind byte {kind}")

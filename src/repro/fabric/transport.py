@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Sequence
 
 from ..core.exceptions import CommunicationError, TransportFailure
 from ..resilience.faults import active_fault_plan, faulted_delivery
+from . import shm, wirecodec
 from .payload import Payload, decode_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -195,9 +196,22 @@ class InProcessTransport(Transport):
 
 
 def _worker_main(conn) -> None:  # pragma: no cover - runs in a child process
-    """Worker loop: hold node states, apply task functions, reply with results."""
+    """Worker loop: hold node states, apply task functions, reply with results.
+
+    Shared values arrive as ordinary pickles; a pickled
+    :class:`~repro.fabric.shm.ShippedObject` transparently re-attaches the
+    parent's shared segment, so the worker maps the same physical pages
+    instead of holding a private copy.  Which segments each session pulled
+    in is tracked so ``release`` can drop the mappings again — a long-lived
+    pool must not accumulate maps of unlinked segments across solves.
+    Task functions are cached per pickle (they are shipped by reference and
+    recur every round); args/results travel through the pickle-free frame
+    codec.
+    """
     states: dict[tuple[str, int], Any] = {}
     shared: dict[tuple[str, str], Any] = {}
+    fn_cache: dict[bytes, Any] = {}
+    session_segments: dict[str, set[str]] = {}
     while True:
         try:
             message = conn.recv()
@@ -209,24 +223,33 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a child process
         try:
             if command == "share":
                 _, session, key, value_bytes = message
-                shared[(session, key)] = pickle.loads(value_bytes)
+                with shm.track_attachments() as seen:
+                    shared[(session, key)] = pickle.loads(value_bytes)
+                if seen:
+                    known = session_segments.setdefault(session, set())
+                    fresh = seen - known
+                    if fresh:
+                        shm.retain_attachments(fresh)
+                        known.update(fresh)
                 conn.send(("ok", None))
             elif command == "init":
                 _, session, node_id, state_bytes = message
                 states[(session, node_id)] = _resolve_shared(
-                    pickle.loads(state_bytes), shared, session
+                    wirecodec.loads(state_bytes), shared, session
                 )
                 conn.send(("ok", None))
             elif command == "run":
                 _, session, tasks = message
                 results = []
                 for node_id, fn_bytes, args_bytes in tasks:
-                    fn = pickle.loads(fn_bytes)
-                    args = pickle.loads(args_bytes)
+                    fn = fn_cache.get(fn_bytes)
+                    if fn is None:
+                        fn = fn_cache[fn_bytes] = pickle.loads(fn_bytes)
+                    args = wirecodec.loads(args_bytes)
                     key = (session, node_id)
                     state, result = fn(states[key], *args)
                     states[key] = state
-                    results.append(pickle.dumps(result))
+                    results.append(wirecodec.dumps(result))
                 conn.send(("ok", results))
             elif command == "ping":
                 conn.send(("ok", "pong"))
@@ -236,6 +259,9 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a child process
                     del states[key]
                 for key in [k for k in shared if k[0] == session]:
                     del shared[key]
+                names = session_segments.pop(session, None)
+                if names:
+                    shm.release_attachments(names)
                 conn.send(("ok", None))
             else:
                 conn.send(("error", f"unknown command {command!r}"))
@@ -261,17 +287,29 @@ class ProcessPoolTransport(Transport):
 
     name = "process"
 
-    def __init__(self, max_workers: int = 2, start_method: str = "spawn") -> None:
+    def __init__(
+        self,
+        max_workers: int = 2,
+        start_method: str = "spawn",
+        shared_memory: bool = True,
+    ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = int(max_workers)
         self.start_method = start_method
+        # Requested zero-copy shipping degrades silently to the pickle path
+        # on platforms without working POSIX shared memory.
+        self.shared_memory = bool(shared_memory) and shm.shared_memory_supported()
         self._context = mp.get_context(start_method)
         self._workers: list[tuple[Any, Any]] = []  # (process, connection)
         self._locks: list[threading.Lock] = []
         self._started = False
         self._start_lock = threading.Lock()
         self._closed = False
+        # pickle.dumps(fn) per (session, fn): task functions are shipped by
+        # reference and recur every round, so the dumps is paid once.
+        self._fn_cache: dict[tuple[str, Any], bytes] = {}
+        self._fn_cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Worker lifecycle
@@ -344,12 +382,42 @@ class ProcessPoolTransport(Transport):
             return self._recv(worker)
 
     # ------------------------------------------------------------------ #
+    # Wire encoding helpers
+    # ------------------------------------------------------------------ #
+
+    def _fn_bytes(self, session: str, fn: Callable[..., Any]) -> bytes:
+        """``pickle.dumps(fn)``, cached per ``(session, fn)``."""
+        cache_key = (session, fn)
+        cached = self._fn_cache.get(cache_key)
+        if cached is None:
+            cached = pickle.dumps(fn)  # by reference: fn must be top-level
+            with self._fn_cache_lock:
+                self._fn_cache[cache_key] = cached
+        return cached
+
+    def _release_caches(self, session: str) -> None:
+        """Drop per-session wire caches and this session's shm ownership."""
+        with self._fn_cache_lock:
+            for cache_key in [k for k in self._fn_cache if k[0] == session]:
+                del self._fn_cache[cache_key]
+        shm.store().release_owner(session)
+
+    # ------------------------------------------------------------------ #
     # Transport API
     # ------------------------------------------------------------------ #
 
     def init_shared(self, session: str, key: str, value: Any) -> None:
-        """Ship one session-shared object to every worker, once each."""
+        """Ship one session-shared object to every worker, once each.
+
+        With ``shared_memory`` enabled the object's large contiguous arrays
+        are exported to a POSIX shared-memory segment owned by this session
+        (plus any ambient pin, e.g. the API session's lifetime token); the
+        pickle shipped below then carries a segment *reference* instead of
+        the array bytes, and every worker maps the same physical pages.
+        """
         self._ensure_started()
+        if self.shared_memory:
+            value = shm.store().export(value, owner=session)
         value_bytes = pickle.dumps(value)
         for worker in range(self.max_workers):
             self._request(worker, ("share", session, key, value_bytes))
@@ -358,19 +426,19 @@ class ProcessPoolTransport(Transport):
         self._ensure_started()
         self._request(
             self._worker_for(node_id),
-            ("init", session, node_id, pickle.dumps(state)),
+            ("init", session, node_id, wirecodec.dumps(state)),
         )
 
     def run_nodes(self, session, node_ids, fn, args_list):
         self._ensure_started()
-        fn_bytes = pickle.dumps(fn)  # by reference: fn must be top-level
+        fn_bytes = self._fn_bytes(session, fn)
         per_worker: dict[int, list[tuple[int, bytes, bytes]]] = {}
         order: list[tuple[int, int]] = []  # (worker, position in its batch)
         for node_id, args in zip(node_ids, args_list):
             worker = self._worker_for(node_id)
             batch = per_worker.setdefault(worker, [])
             order.append((worker, len(batch)))
-            batch.append((node_id, fn_bytes, pickle.dumps(tuple(args))))
+            batch.append((node_id, fn_bytes, wirecodec.dumps(tuple(args))))
         # Ship every worker its batch before collecting any reply, so the
         # workers genuinely run in parallel.  Locks are taken in sorted
         # worker order — every thread uses the same order, so two concurrent
@@ -401,7 +469,7 @@ class ProcessPoolTransport(Transport):
                 self._locks[worker].release()
         if errors:
             raise errors[0]
-        return [pickle.loads(raw[worker][position]) for worker, position in order]
+        return [wirecodec.loads(raw[worker][position]) for worker, position in order]
 
     def deliver(self, payload: Payload) -> Payload:
         plan = self._active_plan()
@@ -412,10 +480,14 @@ class ProcessPoolTransport(Transport):
         return decode_payload(payload.to_bytes())
 
     def release(self, session: str) -> None:
-        if not self._started:
-            return
-        for worker in range(self.max_workers):
-            self._request(worker, ("release", session))
+        try:
+            if self._started:
+                for worker in range(self.max_workers):
+                    self._request(worker, ("release", session))
+        finally:
+            # Even if a worker is unreachable, the session's shm ownership
+            # must drain — a crashed worker cannot keep a segment pinned.
+            self._release_caches(session)
 
     def close(self) -> None:
         self._closed = True
@@ -436,24 +508,27 @@ class ProcessPoolTransport(Transport):
         self._started = False
 
 
-_SHARED_POOLS: dict[tuple[int, str, bool], ProcessPoolTransport] = {}
+_SHARED_POOLS: dict[tuple[int, str, bool, bool], ProcessPoolTransport] = {}
 _SHARED_POOLS_LOCK = threading.Lock()
 
 
 def shared_process_transport(
-    max_workers: int = 2, start_method: str = "spawn", supervised: bool = False
+    max_workers: int = 2,
+    start_method: str = "spawn",
+    supervised: bool = False,
+    shared_memory: bool = True,
 ) -> ProcessPoolTransport:
     """A process-wide pool shared by every solve that asks for these knobs.
 
     Worker start-up (a fresh interpreter plus imports under ``spawn``) is paid
-    once per ``(max_workers, start_method, supervised)`` triple instead of
-    once per solve; sessions namespace the node states, so sharing is
-    invisible to callers.  ``supervised=True`` returns a
+    once per ``(max_workers, start_method, supervised, shared_memory)`` tuple
+    instead of once per solve; sessions namespace the node states, so sharing
+    is invisible to callers.  ``supervised=True`` returns a
     :class:`~repro.resilience.supervisor.SupervisedProcessPoolTransport`
     (crash detection, bounded restart, journal replay) instead of the bare
     pool.  The pools are closed atexit.
     """
-    key = (int(max_workers), start_method, bool(supervised))
+    key = (int(max_workers), start_method, bool(supervised), bool(shared_memory))
     with _SHARED_POOLS_LOCK:
         pool = _SHARED_POOLS.get(key)
         if pool is None:
@@ -463,11 +538,15 @@ def shared_process_transport(
                 from ..resilience.supervisor import SupervisedProcessPoolTransport
 
                 pool = SupervisedProcessPoolTransport(
-                    max_workers=max_workers, start_method=start_method
+                    max_workers=max_workers,
+                    start_method=start_method,
+                    shared_memory=shared_memory,
                 )
             else:
                 pool = ProcessPoolTransport(
-                    max_workers=max_workers, start_method=start_method
+                    max_workers=max_workers,
+                    start_method=start_method,
+                    shared_memory=shared_memory,
                 )
             _SHARED_POOLS[key] = pool
     return pool
@@ -531,9 +610,13 @@ def resolve_transport(config: "TransportConfig | None") -> Transport:
         return InProcessTransport()
     if config.kind == "process":
         supervised = bool(getattr(config, "supervised", False))
+        shared_memory = bool(getattr(config, "shared_memory", True))
         if config.reuse_pool:
             return shared_process_transport(
-                config.max_workers, config.start_method, supervised=supervised
+                config.max_workers,
+                config.start_method,
+                supervised=supervised,
+                shared_memory=shared_memory,
             )
         if supervised:
             from ..resilience.supervisor import SupervisedProcessPoolTransport
@@ -542,6 +625,7 @@ def resolve_transport(config: "TransportConfig | None") -> Transport:
             transport: ProcessPoolTransport = SupervisedProcessPoolTransport(
                 max_workers=config.max_workers,
                 start_method=config.start_method,
+                shared_memory=shared_memory,
                 restart_policy=RetryPolicy(
                     max_attempts=getattr(config, "max_restarts", 3),
                     backoff_s=getattr(config, "restart_backoff_s", 0.05),
@@ -549,7 +633,9 @@ def resolve_transport(config: "TransportConfig | None") -> Transport:
             )
         else:
             transport = ProcessPoolTransport(
-                max_workers=config.max_workers, start_method=config.start_method
+                max_workers=config.max_workers,
+                start_method=config.start_method,
+                shared_memory=shared_memory,
             )
         transport.private = True
         return transport

@@ -1,0 +1,237 @@
+"""A pickle-free binary codec for the process transports' hot wire frames.
+
+Task arguments, task results, and node-init states are overwhelmingly built
+from a small vocabulary: ``None``/booleans/ints/floats, NumPy scalars and
+arrays, strings, tuples/lists/dicts, and fabric :class:`~repro.fabric.payload.Payload`
+objects (which already define a canonical wire form).  This codec frames
+exactly that vocabulary as length-prefixed ``struct`` + raw-buffer records —
+no pickle machinery on the round-trip hot path — and keeps pickle as the
+explicit fallback tag for everything else (RNG generators, dataclasses,
+problem-specific values), so arbitrary state still travels correctly.
+
+Bit-identity is structural: floats and arrays are transcribed from their raw
+buffers (`tobytes`/`frombuffer`), never reformatted, so a decoded value is
+byte-for-byte the encoded one.  NumPy scalar *types* are preserved for the
+dominant ``float64``/``int64`` cases (a task that returns ``np.float64``
+must not observe a plain ``float`` after the wire).
+
+``dumps`` prefixes a magic marker; ``loads`` falls back to ``pickle.loads``
+for unmarked data, so journaled frames from either encoding replay through
+one entry point.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any
+
+import numpy as np
+
+from .payload import Payload, RawBits, decode_payload
+
+__all__ = ["dumps", "loads", "MAGIC"]
+
+#: Frame marker: anything not starting with this is treated as a pickle.
+#: (``\x93`` is not a printable ASCII byte and differs from pickle's
+#: ``PROTO`` opcode ``\x80``, so the dispatch is unambiguous.)
+MAGIC = b"\x93RW1"
+
+_T_NONE = b"N"
+_T_TRUE = b"T"
+_T_FALSE = b"F"
+_T_INT = b"i"  # int fitting int64
+_T_FLOAT = b"f"  # python float
+_T_NPF64 = b"g"  # numpy.float64 scalar
+_T_NPI64 = b"j"  # numpy.int64 scalar
+_T_STR = b"s"
+_T_BYTES = b"b"
+_T_ARRAY = b"a"
+_T_TUPLE = b"t"
+_T_LIST = b"l"
+_T_DICT = b"d"
+_T_PAYLOAD = b"p"
+_T_PICKLE = b"P"
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+_pack_q = struct.Struct("<q").pack
+_pack_d = struct.Struct("<d").pack
+_pack_I = struct.Struct("<I").pack
+_unpack_q = struct.Struct("<q").unpack_from
+_unpack_d = struct.Struct("<d").unpack_from
+_unpack_I = struct.Struct("<I").unpack_from
+
+
+def _encode(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out += _T_NONE
+        return
+    kind = type(obj)
+    if kind is bool:
+        out += _T_TRUE if obj else _T_FALSE
+        return
+    if kind is np.float64:
+        out += _T_NPF64
+        out += _pack_d(float(obj))
+        return
+    if kind is float:
+        out += _T_FLOAT
+        out += _pack_d(obj)
+        return
+    if kind is np.int64:
+        out += _T_NPI64
+        out += _pack_q(int(obj))
+        return
+    if kind is int:
+        if _I64_MIN <= obj <= _I64_MAX:
+            out += _T_INT
+            out += _pack_q(obj)
+        else:
+            _encode_pickle(obj, out)
+        return
+    if kind is str:
+        raw = obj.encode("utf-8")
+        out += _T_STR
+        out += _pack_I(len(raw))
+        out += raw
+        return
+    if kind is bytes:
+        out += _T_BYTES
+        out += _pack_I(len(obj))
+        out += obj
+        return
+    if isinstance(obj, np.ndarray):
+        if obj.dtype.kind not in "fiub" or obj.dtype.hasobject:
+            _encode_pickle(obj, out)
+            return
+        dtype_str = obj.dtype.str.encode("ascii")
+        out += _T_ARRAY
+        out += bytes([len(dtype_str), obj.ndim])
+        for dim in obj.shape:
+            out += _pack_q(dim)
+        out += dtype_str
+        out += obj.tobytes()  # C-order raw buffer: exact bits, any layout
+        return
+    if kind is tuple:
+        out += _T_TUPLE
+        out += _pack_I(len(obj))
+        for item in obj:
+            _encode(item, out)
+        return
+    if kind is list:
+        out += _T_LIST
+        out += _pack_I(len(obj))
+        for item in obj:
+            _encode(item, out)
+        return
+    if kind is dict:
+        out += _T_DICT
+        out += _pack_I(len(obj))
+        for key, value in obj.items():
+            _encode(key, out)
+            _encode(value, out)
+        return
+    if isinstance(obj, Payload) and not isinstance(obj, RawBits):
+        # RawBits carries an opaque payload its wire form drops; pickling it
+        # keeps the legacy shims' semantics intact.
+        raw = obj.to_bytes()
+        out += _T_PAYLOAD
+        out += _pack_I(len(raw))
+        out += raw
+        return
+    _encode_pickle(obj, out)
+
+
+def _encode_pickle(obj: Any, out: bytearray) -> None:
+    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    out += _T_PICKLE
+    out += _pack_I(len(raw))
+    out += raw
+
+
+def _decode(data: bytes, offset: int) -> tuple[Any, int]:
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_TRUE:
+        return True, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_INT:
+        return _unpack_q(data, offset)[0], offset + 8
+    if tag == _T_FLOAT:
+        return _unpack_d(data, offset)[0], offset + 8
+    if tag == _T_NPF64:
+        return np.float64(_unpack_d(data, offset)[0]), offset + 8
+    if tag == _T_NPI64:
+        return np.int64(_unpack_q(data, offset)[0]), offset + 8
+    if tag == _T_STR:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    if tag == _T_BYTES:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        return bytes(data[offset : offset + length]), offset + length
+    if tag == _T_ARRAY:
+        dtype_len = data[offset]
+        ndim = data[offset + 1]
+        offset += 2
+        shape = []
+        for _ in range(ndim):
+            shape.append(_unpack_q(data, offset)[0])
+            offset += 8
+        dtype = np.dtype(data[offset : offset + dtype_len].decode("ascii"))
+        offset += dtype_len
+        count = 1
+        for dim in shape:
+            count *= dim
+        arr = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+        offset += count * dtype.itemsize
+        # .copy() makes the result writable and owner of its buffer, exactly
+        # like an unpickled array.
+        return arr.reshape(shape).copy(), offset
+    if tag == _T_TUPLE or tag == _T_LIST:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        items = []
+        for _ in range(length):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return (tuple(items) if tag == _T_TUPLE else items), offset
+    if tag == _T_DICT:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        mapping = {}
+        for _ in range(length):
+            key, offset = _decode(data, offset)
+            value, offset = _decode(data, offset)
+            mapping[key] = value
+        return mapping, offset
+    if tag == _T_PAYLOAD:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        return decode_payload(memoryview(data)[offset : offset + length]), offset + length
+    if tag == _T_PICKLE:
+        (length,) = _unpack_I(data, offset)
+        offset += 4
+        return pickle.loads(data[offset : offset + length]), offset + length
+    raise ValueError(f"unknown wire tag {tag!r} at offset {offset - 1}")
+
+
+def dumps(obj: Any) -> bytes:
+    """Encode ``obj`` into a marked, pickle-free wire frame."""
+    out = bytearray(MAGIC)
+    _encode(obj, out)
+    return bytes(out)
+
+
+def loads(data: bytes) -> Any:
+    """Decode a :func:`dumps` frame; plain pickles pass through unchanged."""
+    if data[: len(MAGIC)] == MAGIC:
+        obj, _end = _decode(data, len(MAGIC))
+        return obj
+    return pickle.loads(data)

@@ -19,7 +19,10 @@ tolerance the service path needs:
   worker replays its journal, which reconstructs exactly the pre-failure
   states; re-running the in-flight batch then yields bit-identical results,
   because task functions are pure state transformers with their randomness
-  inside the shipped state.
+  inside the shipped state.  With shared memory enabled, journaled shares
+  are pickled :class:`~repro.fabric.shm.ShippedObject` handles — segment
+  *references* — so replay re-maps the original pages instead of holding a
+  second copy of the constraint arrays.
 * **Graceful degradation**: when the restart budget is exhausted the pool
   degrades to an :class:`~repro.fabric.transport.InProcessTransport` built
   by replaying *all* journals, and the solve continues in-process — still
@@ -45,6 +48,7 @@ from random import Random
 from typing import Any, Optional, Sequence
 
 from ..core.exceptions import CommunicationError, TransportFailure
+from ..fabric import shm, wirecodec
 from ..fabric.transport import (
     InProcessTransport,
     ProcessPoolTransport,
@@ -81,12 +85,17 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
         self,
         max_workers: int = 2,
         start_method: str = "spawn",
+        shared_memory: bool = True,
         *,
         restart_policy: Optional[RetryPolicy] = None,
         degrade: bool = True,
         seed: int = 0,
     ) -> None:
-        super().__init__(max_workers=max_workers, start_method=start_method)
+        super().__init__(
+            max_workers=max_workers,
+            start_method=start_method,
+            shared_memory=shared_memory,
+        )
         self.restart_policy = restart_policy or RetryPolicy(
             max_attempts=3, backoff_s=0.02, backoff_factor=2.0, max_backoff_s=0.25
         )
@@ -247,16 +256,19 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
             for session, journal in self._journal.items():
                 for op in journal.ops:
                     if op[0] == "share":
+                        # A shm-backed share is a pickled ShippedObject:
+                        # loading it attaches the segment *in this process*
+                        # and the fallback works over the same shared views.
                         fallback.init_shared(session, op[1], pickle.loads(op[2]))
                     else:
-                        fallback.init_node(session, op[1], pickle.loads(op[2]))
+                        fallback.init_node(session, op[1], wirecodec.loads(op[2]))
                 for node_id, triples in journal.tasks.items():
                     for _nid, fn_bytes, args_bytes in triples:
                         fallback.run_nodes(
                             session,
                             [node_id],
                             pickle.loads(fn_bytes),
-                            [pickle.loads(args_bytes)],
+                            [wirecodec.loads(args_bytes)],
                         )
             self._fallback = fallback
             self.degraded = True
@@ -299,6 +311,11 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
             self._fallback.init_shared(session, key, value)
             return
         self._ensure_started()
+        if self.shared_memory:
+            # The journal then records the pickled ShippedObject — a tiny
+            # segment *reference*, not an array copy — and replay after a
+            # worker crash re-maps the same shared pages.
+            value = shm.store().export(value, owner=session)
         value_bytes = pickle.dumps(value)
         with self._journal_lock:
             journal = self._journal.setdefault(session, _SessionJournal())
@@ -313,7 +330,7 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
             self._fallback.init_node(session, node_id, state)
             return
         self._ensure_started()
-        state_bytes = pickle.dumps(state)
+        state_bytes = wirecodec.dumps(state)
         with self._journal_lock:
             journal = self._journal.setdefault(session, _SessionJournal())
             journal.ops.append(("init", node_id, state_bytes))
@@ -327,14 +344,14 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
             return self._fallback.run_nodes(session, node_ids, fn, args_list)
         self._ensure_started()
         plan = self._active_plan()
-        fn_bytes = pickle.dumps(fn)
+        fn_bytes = self._fn_bytes(session, fn)
         per_worker: dict[int, list[tuple[int, bytes, bytes]]] = {}
         order: list[tuple[int, int]] = []
         for node_id, args in zip(node_ids, args_list):
             worker = self._worker_for(node_id)
             batch = per_worker.setdefault(worker, [])
             order.append((worker, len(batch)))
-            batch.append((node_id, fn_bytes, pickle.dumps(tuple(args))))
+            batch.append((node_id, fn_bytes, wirecodec.dumps(tuple(args))))
         workers = sorted(per_worker)
         for worker in workers:
             self._locks[worker].acquire()
@@ -376,7 +393,7 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
                 # the same results the healthy pool would have produced.
                 return self._fallback.run_nodes(session, node_ids, fn, args_list)
             self._commit_batch_locked(session, per_worker)
-            return [pickle.loads(raw[worker][position]) for worker, position in order]
+            return [wirecodec.loads(raw[worker][position]) for worker, position in order]
         finally:
             for worker in workers:
                 self._locks[worker].release()
@@ -425,7 +442,7 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
                             session,
                             [node_id],
                             pickle.loads(fn_bytes),
-                            [pickle.loads(args_bytes)],
+                            [wirecodec.loads(args_bytes)],
                         )
                 return
             journal = self._journal.setdefault(session, _SessionJournal())
@@ -436,16 +453,19 @@ class SupervisedProcessPoolTransport(ProcessPoolTransport):
     def release(self, session: str) -> None:
         with self._journal_lock:
             self._journal.pop(session, None)
-        if self._fallback is not None:
-            self._fallback.release(session)
-            return
-        if not self._started:
-            return
-        for worker in range(self.max_workers):
+        try:
             if self._fallback is not None:
                 self._fallback.release(session)
                 return
-            self._supervised_request(worker, ("release", session))
+            if not self._started:
+                return
+            for worker in range(self.max_workers):
+                if self._fallback is not None:
+                    self._fallback.release(session)
+                    return
+                self._supervised_request(worker, ("release", session))
+        finally:
+            self._release_caches(session)
 
     def close(self) -> None:
         self._fallback = None
