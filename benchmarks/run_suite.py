@@ -32,6 +32,13 @@ alongside each worker's peak RSS (``VmHWM``) and private footprint (USS,
 the honest zero-copy metric: shared pages don't count).
 ``--min-transport-speedup`` gates the shm-over-pickle dispatch ratio in CI.
 
+Schema ``repro-bench/5`` adds ``wire="tcp"`` cells to the same block: the
+identical dispatch workload run through the cluster subsystem's
+:class:`~repro.cluster.transport.TcpTransport` (loopback node agents, real
+sockets, length-prefixed wirecodec frames), with per-agent VmHWM/USS, and a
+``tcp_overhead`` map (tcp wall / pickle-wire wall per worker count) that
+quantifies what crossing a real socket costs relative to a local pipe.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_suite.py --tier small -o BENCH.json
@@ -76,7 +83,7 @@ from repro.workloads import (
     uniform_ball_points,
 )
 
-SCHEMA = "repro-bench/4"
+SCHEMA = "repro-bench/5"
 
 #: Constraint counts per tier (shared by all four problem families).
 TIERS = {
@@ -317,22 +324,13 @@ TRANSPORT_ROUNDS = 4
 TRANSPORT_REPEATS = 3
 
 
-def _transport_probe_task(state, lo, hi, round_index):
-    """Per-node task: touch this node's slice of the shared constraint rows.
-
-    Reading one float per row pulls every 64-byte row (d = 8) through the
-    page cache, so worker RSS honestly reflects whether the rows are private
-    (pickle wire) or shared (zero-copy segments).  Must stay top-level:
-    spawn workers re-import this file to unpickle the function reference.
-    """
-    rows = state["problem"].constraint_pack().rows
-    value = float(rows[int(lo) : int(hi), 0].sum()) + float(round_index)
-    return state, value
-
-
-def _transport_ready_task(state):
-    """Untimed readiness probe (see :func:`_transport_cell`)."""
-    return state, "ready"
+# The probe tasks live in repro.workloads so that standalone node agents
+# (python -m repro node) can unpickle them by reference; spawn workers could
+# re-import this script, but a TCP agent only shares the installed package.
+from repro.workloads.transport_probe import (  # noqa: E402
+    transport_probe_task as _transport_probe_task,
+    transport_ready_task as _transport_ready_task,
+)
 
 
 def _proc_kb(pid: int, filename: str, fields: tuple) -> int | None:
@@ -348,18 +346,20 @@ def _proc_kb(pid: int, filename: str, fields: tuple) -> int | None:
         return None
 
 
-def _worker_memory_kb(transport) -> dict:
-    """Per-worker VmHWM (peak RSS) and USS (private pages) in kB.
+def _worker_memory_kb(pids) -> dict:
+    """Per-worker/agent VmHWM (peak RSS) and USS (private pages) in kB.
 
     USS — ``Private_Clean + Private_Dirty`` from ``smaps_rollup`` — is the
     zero-copy headline: pages mapped from a shared segment are *shared*, so
     a worker reading the whole problem through shm keeps a near-empty
     private footprint while the pickle wire charges it the full copy.
+    Takes plain pids so the pool workers and the TCP transport's node agents
+    are probed identically.
     """
     hwm, uss = [], []
-    for process, _ in transport._workers:
-        hwm.append(_proc_kb(process.pid, "status", ("VmHWM",)))
-        uss.append(_proc_kb(process.pid, "smaps_rollup", ("Private_Clean", "Private_Dirty")))
+    for pid in pids:
+        hwm.append(_proc_kb(pid, "status", ("VmHWM",)))
+        uss.append(_proc_kb(pid, "smaps_rollup", ("Private_Clean", "Private_Dirty")))
     def _stats(values):
         known = [v for v in values if v is not None]
         if not known:
@@ -372,10 +372,16 @@ def _worker_memory_kb(transport) -> dict:
     return {"vmhwm_kb": _stats(hwm), "uss_kb": _stats(uss)}
 
 
-def _transport_cell(problem, workers: int, shared_memory: bool, rounds: int, repeats: int) -> dict:
+def _transport_cell(problem, workers: int, wire: str, rounds: int, repeats: int) -> dict:
     from repro.fabric.transport import ProcessPoolTransport, SharedRef, new_session
 
-    transport = ProcessPoolTransport(max_workers=workers, shared_memory=shared_memory)
+    shared_memory = wire == "shm"
+    if wire == "tcp":
+        from repro.cluster.transport import TcpTransport
+
+        transport = TcpTransport(max_workers=workers)
+    else:
+        transport = ProcessPoolTransport(max_workers=workers, shared_memory=shared_memory)
     transport.warm_up()
     # ``warm_up`` starts the processes but returns before they finish booting
     # (interpreter + imports, ~1s under ``spawn``).  Run one throwaway round
@@ -413,14 +419,19 @@ def _transport_cell(problem, workers: int, shared_memory: bool, rounds: int, rep
                 )
             walls.append(time.perf_counter() - start)
             # Memory observed while the session is still live (states held).
-            memory = _worker_memory_kb(transport)
+            if wire == "tcp":
+                pids = transport.agent_pids()
+            else:
+                pids = [process.pid for process, _ in transport._workers]
+            memory = _worker_memory_kb(pids)
             transport.release(session)
     finally:
         transport.close()
     return {
         "workers": workers,
+        "wire": wire,
         "shared_memory": shared_memory,
-        "active": bool(transport.shared_memory) if shared_memory else False,
+        "active": bool(getattr(transport, "shared_memory", False)) if shared_memory else False,
         "rounds": rounds,
         "repeats": repeats,
         "dispatch_wall_s": round(statistics.median(walls), 6),
@@ -435,14 +446,16 @@ def transport_bench(
     rounds: int = TRANSPORT_ROUNDS,
     repeats: int = TRANSPORT_REPEATS,
 ) -> dict:
-    """The ``transport_bench`` block: shm-vs-pickle dispatch on the LP family.
+    """The ``transport_bench`` block: dispatch cost per wire on the LP family.
 
     One xlarge-shaped LP (``n`` overridable for CI smoke budgets) is shipped
-    and dispatched through a fresh :class:`ProcessPoolTransport` per cell —
-    ``workers x {pickle wire, shared memory}`` — and each cell reports the
-    median wall of ``init_shared + per-node init + rounds x run_nodes``
-    plus per-worker VmHWM/USS read before release.  ``speedups`` maps each
-    worker count to pickle-wall / shm-wall.
+    and dispatched through a fresh transport per cell — ``workers x {pickle
+    wire, shared memory, tcp}`` (the tcp cells run the identical workload
+    through :class:`~repro.cluster.transport.TcpTransport` with loopback
+    node agents) — and each cell reports the median wall of ``init_shared +
+    per-node init + rounds x run_nodes`` plus per-worker VmHWM/USS read
+    before release.  ``speedups`` maps each worker count to pickle-wall /
+    shm-wall; ``tcp_overhead`` maps it to tcp-wall / pickle-wall.
     """
     size = TIERS["xlarge"] if n is None else int(n)
     d = TIER_DIMENSIONS["xlarge"]
@@ -451,24 +464,29 @@ def transport_bench(
     pack = problem.constraint_pack()  # built once, outside every timed region
     cells = []
     for workers in workers_list:
-        for shared_memory in (False, True):
-            cell = _transport_cell(problem, int(workers), shared_memory, rounds, repeats)
+        for wire in ("pickle", "shm", "tcp"):
+            cell = _transport_cell(problem, int(workers), wire, rounds, repeats)
             cells.append(cell)
             uss = cell.get("uss_kb", {}).get("max")
             print(
-                f"transport n={size} workers={workers} "
-                f"{'shm' if shared_memory else 'pickle'}: "
+                f"transport n={size} workers={workers} {wire}: "
                 f"{cell['dispatch_wall_s']:.4f}s dispatch, "
                 f"max worker USS {uss} kB"
             )
-    by_key = {(c["workers"], c["shared_memory"]): c for c in cells}
+    by_key = {(c["workers"], c["wire"]): c for c in cells}
     speedups = {}
+    tcp_overhead = {}
     for workers in workers_list:
-        pickle_cell = by_key[(int(workers), False)]
-        shm_cell = by_key[(int(workers), True)]
+        pickle_cell = by_key[(int(workers), "pickle")]
+        shm_cell = by_key[(int(workers), "shm")]
+        tcp_cell = by_key[(int(workers), "tcp")]
         if shm_cell["dispatch_wall_s"] > 0:
             speedups[str(workers)] = round(
                 pickle_cell["dispatch_wall_s"] / shm_cell["dispatch_wall_s"], 3
+            )
+        if pickle_cell["dispatch_wall_s"] > 0:
+            tcp_overhead[str(workers)] = round(
+                tcp_cell["dispatch_wall_s"] / pickle_cell["dispatch_wall_s"], 3
             )
     return {
         "family": "lp",
@@ -480,6 +498,7 @@ def transport_bench(
         "cells": cells,
         "speedups": speedups,
         "min_speedup": min(speedups.values()) if speedups else None,
+        "tcp_overhead": tcp_overhead,
     }
 
 
@@ -571,7 +590,11 @@ def print_history(bench_dir: str | None = None) -> int:
         transport = report.get("transport_bench")
         if transport:
             for cell in transport.get("cells", []):
-                wire = "shm" if cell["shared_memory"] else "pickle"
+                # repro-bench/5 cells name their wire; older snapshots only
+                # carry the shared_memory flag.
+                wire = cell.get("wire") or (
+                    "shm" if cell.get("shared_memory") else "pickle"
+                )
                 uss = (cell.get("uss_kb") or {}).get("max")
                 rows.append(
                     (
@@ -589,6 +612,14 @@ def print_history(bench_dir: str | None = None) -> int:
             )
             if pairs:
                 rows.append((path.name, "", "", "transport shm speedup", "", pairs))
+            tcp_pairs = ", ".join(
+                f"w={workers}: {ratio}x"
+                for workers, ratio in transport.get("tcp_overhead", {}).items()
+            )
+            if tcp_pairs:
+                rows.append(
+                    (path.name, "", "", "transport tcp overhead", "", tcp_pairs)
+                )
     if not rows:
         print(f"no repro-bench snapshots found under {root}")
         return 1
@@ -872,6 +903,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         for workers, ratio in report["transport_bench"]["speedups"].items():
             print(f"transport shm speedup at {workers} workers: {ratio}x dispatch")
+        for workers, ratio in report["transport_bench"]["tcp_overhead"].items():
+            print(f"transport tcp overhead at {workers} workers: {ratio}x of pickle")
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

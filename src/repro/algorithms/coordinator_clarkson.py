@@ -534,7 +534,7 @@ register_model(
         "machine_count",
     ),
     replaces="coordinator_clarkson_solve",
-    transports=("inprocess", "process"),
+    transports=("inprocess", "process", "tcp"),
     warm_runner=_run_coordinator,
     capabilities=("warm_restart", "ingest"),
 )

@@ -558,7 +558,7 @@ register_model(
         "machine_count",
     ),
     replaces="mpc_clarkson_solve",
-    transports=("inprocess", "process"),
+    transports=("inprocess", "process", "tcp"),
     warm_runner=_run_mpc,
     capabilities=("warm_restart", "ingest"),
 )

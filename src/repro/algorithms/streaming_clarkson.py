@@ -422,7 +422,7 @@ register_model(
     ),
     currencies=("passes", "space_peak_items", "space_peak_bits"),
     replaces="streaming_clarkson_solve",
-    transports=("inprocess", "process"),
+    transports=("inprocess", "process", "tcp"),
     warm_runner=_run_streaming,
     capabilities=("warm_restart", "ingest"),
 )

@@ -1,6 +1,6 @@
 """``python -m repro`` — the command-line front door.
 
-Four subcommands, all thin wrappers over the public API:
+Five subcommands, all thin wrappers over the public API:
 
 * ``list`` — the registry, via ``describe_model`` / ``describe_problem``;
 * ``solve`` — build a synthetic instance of a registered problem family and
@@ -9,6 +9,10 @@ Four subcommands, all thin wrappers over the public API:
 * ``serve`` — boot the HTTP/SSE front end (``repro.server.ReproServer``)
   and serve until SIGINT, then drain in-flight tickets
   (``SolverService.shutdown(wait=True)``) before exiting;
+* ``node`` — run a cluster node agent (``repro.cluster.NodeAgent``):
+  ``--connect host:port`` dials a coordinator's registry, ``--listen
+  host:port`` binds and waits for the registry to dial in; ``--set
+  key=value`` overrides agent fields, consistent with ``serve``;
 * ``bench`` — thin wrapper over ``benchmarks/run_suite.py`` (the canonical
   perf suite), resolved relative to the repository checkout.
 """
@@ -178,6 +182,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_node(args: argparse.Namespace) -> int:
+    from ..cluster.agent import NodeAgent
+    from ..cluster.protocol import parse_address
+
+    overrides = _parse_overrides(args.set or [])
+    if args.name is not None:
+        overrides["name"] = args.name
+    known = ("name", "heartbeat_interval_s")
+    unknown = sorted(set(overrides) - set(known))
+    if unknown:
+        raise SystemExit(
+            f"unknown node agent field(s) {', '.join(map(repr, unknown))}; "
+            f"supported: {', '.join(known)}"
+        )
+    agent = NodeAgent(**overrides)
+    try:
+        if args.connect is not None:
+            return int(agent.run_connect(parse_address(args.connect)) or 0)
+        return int(agent.run_listen(parse_address(args.listen)) or 0)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except KeyboardInterrupt:
+        return 0
+
+
 def _find_run_suite() -> Path:
     """Locate ``benchmarks/run_suite.py`` (source checkout layout)."""
     candidates = [
@@ -304,6 +333,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="base config field override shared by every model (repeatable)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_node = sub.add_parser(
+        "node",
+        help=(
+            "run a cluster node agent (the remote end of "
+            "TransportConfig(kind='tcp'); see docs/fabric.md)"
+        ),
+    )
+    peer = p_node.add_mutually_exclusive_group(required=True)
+    peer.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="dial the coordinator's cluster registry at this address",
+    )
+    peer.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help=(
+            "bind this address and wait for the registry to dial in "
+            "(port 0 picks a free one; the bound address is announced on stdout)"
+        ),
+    )
+    p_node.add_argument(
+        "--name", default=None, help="agent name reported at registration"
+    )
+    p_node.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help=(
+            "agent field override (repeatable), e.g. "
+            "--set heartbeat_interval_s=0.2"
+        ),
+    )
+    p_node.set_defaults(func=_cmd_node)
 
     sub.add_parser(
         "bench",

@@ -47,7 +47,7 @@ __all__ = [
 ]
 
 #: Transport kinds understood by :func:`repro.fabric.resolve_transport`.
-TRANSPORT_KINDS = ("inprocess", "process")
+TRANSPORT_KINDS = ("inprocess", "process", "tcp")
 
 #: Coordinator topologies understood by the coordinator driver.
 COORDINATOR_TOPOLOGIES = ("star", "tree")
@@ -60,13 +60,16 @@ class TransportConfig:
     Attributes
     ----------
     kind:
-        ``"inprocess"`` (deterministic, zero-copy, the default) or
-        ``"process"`` (real multiprocess workers; bit-identical results —
-        node states, including per-node RNGs derived via
-        ``SeedSequence.spawn``, live with the workers).
+        ``"inprocess"`` (deterministic, zero-copy, the default),
+        ``"process"`` (real multiprocess workers), or ``"tcp"`` (node
+        agents over real sockets — the :mod:`repro.cluster` subsystem).
+        Results are bit-identical across all three: node states, including
+        per-node RNGs derived via ``SeedSequence.spawn``, live with the
+        workers/agents.
     max_workers:
-        Worker-process count for the ``"process"`` kind (``>= 1``); nodes
-        are pinned to workers by ``node_id % max_workers``.
+        Worker-process count for the ``"process"`` kind, or node-agent
+        count for ``"tcp"`` (``>= 1``); nodes are pinned to workers by
+        ``node_id % max_workers``.
     reuse_pool:
         Whether ``"process"`` solves share one process-wide worker pool
         (start-up cost paid once) or each solve owns a private pool.
@@ -96,7 +99,33 @@ class TransportConfig:
         args/results.  Default on; silently degrades to the plain pickle
         wire on platforms without working shared memory.  Results are
         bit-identical either way — ``False`` forces the pickle path (the
-        cross-transport determinism grid exercises both).
+        cross-transport determinism grid exercises both).  Ignored by
+        ``kind="tcp"``: a shared-memory handle references pages a remote
+        host cannot map, so the TCP wire always ships plain pickles.
+    listen:
+        With ``kind="tcp"``, the ``"host:port"`` the coordinator's
+        :class:`~repro.cluster.registry.ClusterRegistry` binds for agent
+        registrations (port ``0`` picks a free port).
+    addresses:
+        With ``kind="tcp"``, explicit ``"host:port"`` addresses of node
+        agents started with ``python -m repro node --listen``; the registry
+        dials them, one node slot per address, and nothing is spawned.
+        Empty (the default) means the transport spawns ``max_workers``
+        loopback agents itself.
+    spawn_agents:
+        With ``kind="tcp"``, force (``True``) or forbid (``False``)
+        spawning loopback agents; ``None`` (default) spawns exactly when
+        ``addresses`` is empty.
+    heartbeat_interval_s:
+        With ``kind="tcp"``, how often each agent pushes a heartbeat frame.
+    heartbeat_timeout_s:
+        With ``kind="tcp"``, silence after which a member turns ``suspect``
+        (and, after twice this, ``dead`` — triggering journal-replay
+        recovery onto a surviving or respawned agent).
+    registration_timeout_s:
+        With ``kind="tcp"``, how long a joining member may take to complete
+        registration (and how long the transport waits for its spawned
+        agents at start-up).
     """
 
     kind: str = "inprocess"
@@ -107,6 +136,12 @@ class TransportConfig:
     max_restarts: int = 3
     restart_backoff_s: float = 0.05
     shared_memory: bool = True
+    listen: str = "127.0.0.1:0"
+    addresses: tuple = ()
+    spawn_agents: Optional[bool] = None
+    heartbeat_interval_s: float = 0.5
+    heartbeat_timeout_s: float = 2.0
+    registration_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.kind not in TRANSPORT_KINDS:
@@ -132,6 +167,38 @@ class TransportConfig:
                 "TransportConfig.restart_backoff_s must be >= 0 "
                 f"(got {self.restart_backoff_s!r})"
             )
+        # JSON overrides hand addresses over as a list; the frozen dataclass
+        # wants a hashable tuple of "host:port" strings.
+        if not isinstance(self.addresses, tuple):
+            if not isinstance(self.addresses, (list, Sequence)) or isinstance(
+                self.addresses, (str, bytes)
+            ):
+                raise InvalidConfigError(
+                    "TransportConfig.addresses must be a sequence of "
+                    f"'host:port' strings (got {self.addresses!r})"
+                )
+            object.__setattr__(self, "addresses", tuple(self.addresses))
+        for address in self.addresses:
+            if not isinstance(address, str) or ":" not in address:
+                raise InvalidConfigError(
+                    "TransportConfig.addresses entries must be 'host:port' "
+                    f"strings (got {address!r})"
+                )
+        if not isinstance(self.listen, str) or ":" not in self.listen:
+            raise InvalidConfigError(
+                "TransportConfig.listen must be a 'host:port' string "
+                f"(got {self.listen!r})"
+            )
+        for field_name in (
+            "heartbeat_interval_s",
+            "heartbeat_timeout_s",
+            "registration_timeout_s",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise InvalidConfigError(
+                    f"TransportConfig.{field_name} must be > 0 "
+                    f"(got {getattr(self, field_name)!r})"
+                )
 
 
 def _coerce_transport(config: Any) -> None:

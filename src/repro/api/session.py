@@ -530,6 +530,24 @@ class Session:
                 self._transport.warm_up()
             elif self._owns_transport:
                 self._transport.warm_up()
+        elif (
+            transport_cfg is not None
+            and transport_cfg.kind == "tcp"
+            and "tcp" in self.spec.transports
+        ):
+            # Same pinning rules as the process pool, but cluster-backed: no
+            # shm pin token (the TCP wire ships plain pickles), and explicit
+            # agent addresses always make the cluster session-private.
+            from ..cluster.transport import resolve_tcp_transport
+
+            self._transport = resolve_tcp_transport(transport_cfg)
+            self._owns_transport = bool(getattr(self._transport, "private", False))
+            if self._owns_transport:
+                # The session owns teardown now; clear the per-run flag so
+                # the topology does not close the cluster after one solve.
+                self._transport.private = False
+            if self._warm_tracking or self._owns_transport:
+                self._transport.warm_up()
 
     # ------------------------------------------------------------------ #
     # Lifecycle

@@ -1,0 +1,168 @@
+"""The node agent: one remote process executing fabric node tasks.
+
+``python -m repro node --connect host:port`` dials the coordinator's
+:class:`~repro.cluster.registry.ClusterRegistry`; ``--listen host:port``
+binds instead and waits for the registry to dial in (useful when only the
+coordinator can open outbound connections).  Either way the agent speaks
+first: it sends ``hello``, the registry answers ``welcome`` (assigning the
+agent id and the heartbeat interval) or ``reject``.
+
+After registration the agent runs the *same* command loop as the process
+pool's :func:`~repro.fabric.transport._worker_main` — ``share`` / ``init`` /
+``run`` / ``ping`` / ``release`` / ``stop`` with identical state semantics
+(states keyed by ``(session, node_id)``, RNGs resident in the state, task
+functions cached per pickle, args/results through the pickle-free
+:mod:`~repro.fabric.wirecodec`) — so a solve lands bit-identically whether
+its nodes live in a local worker or across the network.  A daemon heartbeat
+thread pushes ``("hb", seq)`` frames on the same socket at the negotiated
+interval; the send lock in :class:`~repro.cluster.protocol.FrameConnection`
+keeps heartbeat and reply frames from tearing each other.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import threading
+import traceback
+from typing import Any, Dict, Optional, Tuple
+
+from .protocol import FrameConnection, HandshakeError, hello_message
+from ..fabric import wirecodec
+from ..fabric.transport import _resolve_shared
+
+__all__ = ["NodeAgent"]
+
+
+class NodeAgent:
+    """Registers with a coordinator and executes node tasks until stopped."""
+
+    def __init__(
+        self,
+        *,
+        name: Optional[str] = None,
+        heartbeat_interval_s: Optional[float] = None,
+    ) -> None:
+        self.name = name or f"node-{os.getpid()}"
+        self._interval_override = (
+            None if heartbeat_interval_s is None else float(heartbeat_interval_s)
+        )
+        self.agent_id: Optional[str] = None
+        self._stop = threading.Event()
+
+    # -- entry points ------------------------------------------------------
+
+    def run_connect(self, address: Tuple[str, int]) -> int:
+        """Dial the registry at ``address`` and serve until stopped."""
+        sock = socket.create_connection(address, timeout=10.0)
+        sock.settimeout(None)
+        return self._serve(FrameConnection(sock))
+
+    def run_listen(self, address: Tuple[str, int]) -> int:
+        """Bind ``address``, announce it, and serve the registry that dials in."""
+        listener = socket.create_server(address, backlog=1)
+        host, port = listener.getsockname()[:2]
+        # The announcement is the contract for scripts that bind port 0.
+        print(f"listening on {host}:{port}", flush=True)
+        try:
+            sock, _addr = listener.accept()
+        finally:
+            listener.close()
+        return self._serve(FrameConnection(sock))
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, conn: FrameConnection) -> float:
+        conn.send(hello_message(self.name, os.getpid()))
+        reply = conn.recv(timeout=10.0)
+        if isinstance(reply, tuple) and len(reply) == 2 and reply[0] == "welcome":
+            details = dict(reply[1])
+            self.agent_id = str(details.get("agent_id", self.name))
+            negotiated = float(details.get("heartbeat_interval_s", 0.5))
+            return self._interval_override or negotiated
+        if isinstance(reply, tuple) and reply and reply[0] == "reject":
+            raise HandshakeError(f"registration rejected: {reply[1]}")
+        raise HandshakeError(f"unexpected handshake reply {reply!r}")
+
+    def _heartbeat_loop(self, conn: FrameConnection, interval: float) -> None:
+        seq = 0
+        while not self._stop.wait(interval):
+            seq += 1
+            try:
+                conn.send(("hb", seq))
+            except OSError:
+                return
+
+    # -- the command loop --------------------------------------------------
+
+    def _serve(self, conn: FrameConnection) -> int:
+        interval = self._register(conn)
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(conn, interval),
+            name="agent-heartbeat",
+            daemon=True,
+        )
+        beater.start()
+
+        states: Dict[Tuple[str, int], Any] = {}
+        shared: Dict[Tuple[str, str], Any] = {}
+        fn_cache: Dict[bytes, Any] = {}
+        try:
+            while True:
+                try:
+                    message = conn.recv(timeout=None)
+                except (EOFError, wirecodec.TruncatedFrameError, OSError):
+                    return 0  # coordinator went away: nothing left to serve
+                command = message[0]
+                if command == "stop":
+                    try:
+                        conn.send(("ok", None))
+                    except OSError:
+                        pass
+                    return 0
+                try:
+                    if command == "share":
+                        _, session, key, value_bytes = message
+                        shared[(session, key)] = pickle.loads(value_bytes)
+                        conn.send(("ok", None))
+                    elif command == "init":
+                        _, session, node_id, state_bytes = message
+                        states[(session, node_id)] = _resolve_shared(
+                            wirecodec.loads(state_bytes), shared, session
+                        )
+                        conn.send(("ok", None))
+                    elif command == "run":
+                        _, session, tasks = message
+                        results = []
+                        for node_id, fn_bytes, args_bytes in tasks:
+                            fn = fn_cache.get(fn_bytes)
+                            if fn is None:
+                                fn = fn_cache[fn_bytes] = pickle.loads(fn_bytes)
+                            args = wirecodec.loads(args_bytes)
+                            state_key = (session, node_id)
+                            state, result = fn(states[state_key], *args)
+                            states[state_key] = state
+                            results.append(wirecodec.dumps(result))
+                        conn.send(("ok", results))
+                    elif command == "ping":
+                        conn.send(("ok", "pong"))
+                    elif command == "release":
+                        _, session = message
+                        for state_key in [k for k in states if k[0] == session]:
+                            del states[state_key]
+                        for shared_key in [k for k in shared if k[0] == session]:
+                            del shared[shared_key]
+                        conn.send(("ok", None))
+                    else:
+                        conn.send(("error", f"unknown command {command!r}"))
+                except BaseException:
+                    try:
+                        conn.send(("error", traceback.format_exc()))
+                    except OSError:
+                        return 0
+        finally:
+            self._stop.set()
+            conn.close()
+            beater.join(timeout=1.0)

@@ -639,4 +639,10 @@ def resolve_transport(config: "TransportConfig | None") -> Transport:
             )
         transport.private = True
         return transport
+    if config.kind == "tcp":
+        # Imported lazily: the cluster package builds on this module (and on
+        # the resilience supervisor), so a top-level import would cycle.
+        from ..cluster.transport import resolve_tcp_transport
+
+        return resolve_tcp_transport(config)
     raise CommunicationError(f"unknown transport kind {config.kind!r}")

@@ -303,6 +303,11 @@ class ReproServer:
                 "transport": transport,
                 "replacements": replaced.get(name, 0),
             }
+            # Sessions on the TCP transport carry cluster membership: node
+            # count and per-node liveness, promoted to its own block so
+            # monitors need not know the transport report's layout.
+            if "cluster" in transport:
+                models[name]["cluster"] = transport["cluster"]
         return {
             "status": "ok" if all_ready else "degraded",
             "liveness": "ok",

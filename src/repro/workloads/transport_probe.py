@@ -1,0 +1,29 @@
+"""Importable node tasks for the transport benchmark and cluster smoke runs.
+
+These live in the package (not in ``benchmarks/run_suite.py``) because every
+transport backend must be able to unpickle the function *by reference*:
+spawn-based process-pool workers re-import the parent script, but standalone
+``python -m repro node`` agents only share the installed package, so any task
+shipped over the TCP wire has to resolve from an importable module.
+"""
+
+from __future__ import annotations
+
+__all__ = ["transport_probe_task", "transport_ready_task"]
+
+
+def transport_probe_task(state, lo, hi, round_index):
+    """Per-node task: touch this node's slice of the shared constraint rows.
+
+    Reading one float per row pulls every 64-byte row (d = 8) through the
+    page cache, so worker RSS honestly reflects whether the rows are private
+    (pickle wire) or shared (zero-copy segments).
+    """
+    rows = state["problem"].constraint_pack().rows
+    value = float(rows[int(lo) : int(hi), 0].sum()) + float(round_index)
+    return state, value
+
+
+def transport_ready_task(state):
+    """Untimed readiness probe used to absorb worker start-up cost."""
+    return state, "ready"

@@ -174,3 +174,49 @@ def test_serve_drains_cleanly_on_sigterm(tmp_path):
         raise
     assert proc.returncode == 0, out
     assert "draining" in out
+
+
+def test_node_parser_accepts_connect_name_and_set():
+    from repro.api.cli import build_parser
+
+    args = build_parser().parse_args(
+        [
+            "node",
+            "--connect", "coordinator.internal:8731",
+            "--name", "rack3-agent",
+            "--set", "heartbeat_interval_s=0.25",
+        ]
+    )
+    assert args.connect == "coordinator.internal:8731"
+    assert args.listen is None
+    assert args.name == "rack3-agent"
+    assert args.set == ["heartbeat_interval_s=0.25"]
+
+
+def test_node_parser_accepts_listen():
+    from repro.api.cli import build_parser
+
+    args = build_parser().parse_args(["node", "--listen", "0.0.0.0:9000"])
+    assert args.listen == "0.0.0.0:9000"
+    assert args.connect is None
+
+
+def test_node_requires_exactly_one_peer_mode(capsys):
+    from repro.api.cli import build_parser
+
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["node"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["node", "--connect", "a:1", "--listen", "b:2"]
+        )
+
+
+def test_node_rejects_unknown_set_key():
+    with pytest.raises(SystemExit, match="bogus"):
+        main(["node", "--connect", "127.0.0.1:1", "--set", "bogus=1"])
+
+
+def test_node_rejects_malformed_address():
+    with pytest.raises(SystemExit, match="HOST:PORT"):
+        main(["node", "--connect", "nocolon"])

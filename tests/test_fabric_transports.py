@@ -186,7 +186,11 @@ class TestTransportConfigValidation:
 
         for model in MODELS:
             assert "transport" in describe_model(model)["config_keys"]
-            assert describe_model(model)["transports"] == ["inprocess", "process"]
+            assert describe_model(model)["transports"] == [
+                "inprocess",
+                "process",
+                "tcp",
+            ]
         assert describe_model("sequential")["transports"] == ["inprocess"]
 
 
